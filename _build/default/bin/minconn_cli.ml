@@ -1,0 +1,402 @@
+(* minconn: command-line interface to the library.
+
+   classify  — chordality/acyclicity profile of a bipartite graph file
+   solve     — minimal connection (Steiner) over named terminals
+   relations — Algorithm 1: minimum-relation connection
+   generate  — emit random instances of each chordality class
+   figures   — print the paper-figure instances
+   demo      — the Fig. 1 walk-through *)
+
+open Cmdliner
+open Graphs
+open Bipartite
+open Steiner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_bigraph path =
+  match Mc_io.Parse.bigraph_of_string (read_file path) with
+  | Ok nb -> Ok nb
+  | Error e -> Error (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* ------------------------------------------------------------ classify *)
+
+let classify_cmd =
+  let run path =
+    let nb = or_die (load_bigraph path) in
+    print_string (Minconn.report nb.Mc_io.Parse.graph)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Report the chordality/acyclicity profile of a bipartite graph")
+    Term.(const run $ path)
+
+(* --------------------------------------------------------------- solve *)
+
+let name_of nb v =
+  let module B = Bigraph in
+  match B.node_of_index nb.Mc_io.Parse.graph v with
+  | B.L i -> nb.Mc_io.Parse.left_names.(i)
+  | B.R j -> nb.Mc_io.Parse.right_names.(j)
+
+let print_tree nb (tree : Tree.t) =
+  Printf.printf "tree nodes (%d): %s\n" (Tree.node_count tree)
+    (String.concat ", " (List.map (name_of nb) (Iset.elements tree.Tree.nodes)));
+  List.iter
+    (fun (a, b) -> Printf.printf "  %s -- %s\n" (name_of nb a) (name_of nb b))
+    tree.Tree.edges
+
+let solve_cmd =
+  let run path terminals =
+    let nb = or_die (load_bigraph path) in
+    let p =
+      match Mc_io.Parse.name_set nb terminals with
+      | Ok p -> p
+      | Error n ->
+        prerr_endline ("unknown terminal: " ^ n);
+        exit 1
+    in
+    match Minconn.solve_steiner nb.Mc_io.Parse.graph ~p with
+    | None ->
+      prerr_endline "terminals are not connected";
+      exit 1
+    | Some s ->
+      let how =
+        match s.Minconn.method_used with
+        | Minconn.Used_forest -> "forest paths (exact and unique)"
+        | Minconn.Used_algorithm2 -> "Algorithm 2 (exact, Theorem 5)"
+        | Minconn.Used_exact_dp -> "Dreyfus-Wagner (exact)"
+        | Minconn.Used_elimination -> "nonredundant elimination (heuristic)"
+      in
+      Printf.printf "method: %s\n" how;
+      print_tree nb s.Minconn.tree
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let terminals =
+    Arg.(
+      non_empty & opt (list string) []
+      & info [ "t"; "terminals" ] ~docv:"NAMES"
+          ~doc:"Comma-separated object names to connect")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Find a minimal connection over the terminals")
+    Term.(const run $ path $ terminals)
+
+let relations_cmd =
+  let run path terminals =
+    let nb = or_die (load_bigraph path) in
+    let p =
+      match Mc_io.Parse.name_set nb terminals with
+      | Ok p -> p
+      | Error n ->
+        prerr_endline ("unknown terminal: " ^ n);
+        exit 1
+    in
+    match Algorithm1.solve nb.Mc_io.Parse.graph ~p with
+    | Ok r ->
+      Printf.printf "minimum relation count: %d\n" r.Algorithm1.v2_count;
+      print_tree nb r.Algorithm1.tree
+    | Error Algorithm1.Disconnected_terminals ->
+      prerr_endline "terminals are not connected";
+      exit 1
+    | Error Algorithm1.Not_alpha_acyclic ->
+      prerr_endline
+        "scheme is not alpha-acyclic (V2-chordal V2-conformal): Algorithm 1 \
+         does not apply";
+      exit 1
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let terminals =
+    Arg.(
+      non_empty & opt (list string) []
+      & info [ "t"; "terminals" ] ~docv:"NAMES"
+          ~doc:"Comma-separated object names to connect")
+  in
+  Cmd.v
+    (Cmd.info "relations"
+       ~doc:"Algorithm 1: connect the terminals with the fewest relations")
+    Term.(const run $ path $ terminals)
+
+let interpretations_cmd =
+  let run path terminals k =
+    let nb = or_die (load_bigraph path) in
+    let p =
+      match Mc_io.Parse.name_set nb terminals with
+      | Ok p -> p
+      | Error n ->
+        prerr_endline ("unknown terminal: " ^ n);
+        exit 1
+    in
+    let trees =
+      Kbest.enumerate ~max_trees:k (Bigraph.ugraph nb.Mc_io.Parse.graph)
+        ~terminals:p
+    in
+    if trees = [] then begin
+      prerr_endline "terminals are not connected";
+      exit 1
+    end;
+    List.iteri
+      (fun i tree ->
+        Printf.printf "-- interpretation %d --
+" (i + 1);
+        print_tree nb tree)
+      trees
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let terminals =
+    Arg.(
+      non_empty & opt (list string) []
+      & info [ "t"; "terminals" ] ~docv:"NAMES"
+          ~doc:"Comma-separated object names to connect")
+  in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K") in
+  Cmd.v
+    (Cmd.info "interpretations"
+       ~doc:"Enumerate the k smallest alternative connections")
+    Term.(const run $ path $ terminals $ k)
+
+(* -------------------------------------------------------------- repair *)
+
+let repair_cmd =
+  let run path =
+    let text = read_file path in
+    match Mc_io.Parse.schema_of_string text with
+    | Error e ->
+      prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
+      exit 1
+    | Ok schema -> print_string (Datamodel.Repair.report schema)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Suggest deletions/merges that move a schema to a better              acyclicity degree")
+    Term.(const run $ path)
+
+(* ----------------------------------------------------------------- ask *)
+
+let ask_cmd =
+  let run path query_text =
+    let text = read_file path in
+    match Mc_io.Parse.database_of_string text with
+    | Error e ->
+      prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
+      exit 1
+    | Ok db -> (
+      match Mc_io.Parse.query_of_string query_text with
+      | Error e ->
+        prerr_endline (Format.asprintf "query: %a" Mc_io.Parse.pp_error e);
+        exit 1
+      | Ok (objects, where) -> (
+        match Datamodel.Interface.answer db ~where ~query:objects with
+        | Ok a ->
+          Printf.printf "relations used: %s
+"
+            (String.concat ", "
+               a.Datamodel.Interface.connection.Datamodel.Query.relations_used);
+          Format.printf "%a@." Relalg.Relation.pp a.Datamodel.Interface.result
+        | Error (Datamodel.Query.Unknown_object o) ->
+          prerr_endline ("unknown object: " ^ o);
+          exit 1
+        | Error Datamodel.Query.Disconnected ->
+          prerr_endline "objects cannot be connected";
+          exit 1
+        | Error (Datamodel.Query.Not_applicable m) ->
+          prerr_endline m;
+          exit 1))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DBFILE") in
+  let query =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"e.g. 'connect emp, manager where dept = toys'")
+  in
+  Cmd.v
+    (Cmd.info "ask"
+       ~doc:"Answer a universal-relation query against a database file")
+    Term.(const run $ path $ query)
+
+(* ------------------------------------------------------------ generate *)
+
+let generate_cmd =
+  let run cls seed size =
+    let rng = Workloads.Rng.make ~seed in
+    let graph =
+      match cls with
+      | "forest" -> Workloads.Gen_bipartite.forest rng ~n:size
+      | "62" -> Workloads.Gen_bipartite.chordal_62 rng ~n_right:size ~max_size:4
+      | "alpha" ->
+        Workloads.Gen_bipartite.alpha_bipartite rng ~n_right:size ~max_size:4
+      | "61" -> Workloads.Gen_bipartite.chordal_61_flower rng ~petals:size
+      | "gnp" ->
+        Workloads.Gen_bipartite.gnp rng ~nl:size ~nr:size ~p:0.3
+      | other ->
+        prerr_endline
+          ("unknown class '" ^ other ^ "' (use forest|62|61|alpha|gnp)");
+        exit 1
+    in
+    let nb =
+      {
+        Mc_io.Parse.graph;
+        left_names =
+          Array.init (Bigraph.nl graph) (fun i -> Printf.sprintf "a%d" i);
+        right_names =
+          Array.init (Bigraph.nr graph) (fun j -> Printf.sprintf "r%d" j);
+      }
+    in
+    print_string (Mc_io.Parse.bigraph_to_string nb)
+  in
+  let cls =
+    Arg.(
+      value & opt string "62"
+      & info [ "c"; "class" ] ~docv:"CLASS"
+          ~doc:"forest, 62, 61, alpha or gnp")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let size = Arg.(value & opt int 8 & info [ "n"; "size" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a random instance of a chordality class")
+    Term.(const run $ cls $ seed $ size)
+
+(* ------------------------------------------------------------ hypergraph *)
+
+let hypergraph_cmd =
+  let run path =
+    let text = read_file path in
+    match Mc_io.Parse.hypergraph_of_string text with
+    | Error e ->
+      prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
+      exit 1
+    | Ok (h, _, edge_names) ->
+      let module A = Hypergraphs.Acyclicity in
+      Printf.printf "degree: %s\n" (A.degree_name (A.degree h));
+      Printf.printf "width (min-fill of the 2-section): %d\n"
+        (Hypergraphs.Decomposition.width (Hypergraphs.Decomposition.of_hypergraph h));
+      List.iter
+        (fun goal ->
+          match A.why_not h goal with
+          | Some w ->
+            Format.printf "not %s: %a\n" (A.degree_name goal) A.pp_witness w
+          | None -> ())
+        [ A.Berge_acyclic; A.Gamma_acyclic; A.Beta_acyclic; A.Alpha_acyclic ];
+      ignore edge_names
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "hypergraph"
+       ~doc:"Classify a hypergraph file: degree, width and cycle witnesses")
+    Term.(const run $ path)
+
+(* ----------------------------------------------------------------- dot *)
+
+let dot_cmd =
+  let run path =
+    let nb = or_die (load_bigraph path) in
+    print_string
+      (Graphs.Dot.of_bipartite_like
+         ~name:(Filename.basename path)
+         ~left_labels:(fun i -> nb.Mc_io.Parse.left_names.(i))
+         ~right_labels:(fun j -> nb.Mc_io.Parse.right_names.(j))
+         ~nl:(Bigraph.nl nb.Mc_io.Parse.graph)
+         ~nr:(Bigraph.nr nb.Mc_io.Parse.graph)
+         (Bigraph.edges nb.Mc_io.Parse.graph))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a bipartite graph file to Graphviz DOT")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------- figures *)
+
+let figures_cmd =
+  let run () =
+    List.iter
+      (fun (id, l) ->
+        let g = l.Datamodel.Figures.graph in
+        Printf.printf "%-4s %-55s %d+%d nodes, %d edges\n" id
+          l.Datamodel.Figures.title (Bigraph.nl g) (Bigraph.nr g)
+          (Bigraph.m g);
+        print_string (Minconn.report g);
+        print_newline ())
+      Datamodel.Figures.all_labeled
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Print and classify the paper's figure instances")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- demo *)
+
+let demo_cmd =
+  let run () =
+    print_endline "Fig. 1 walk-through: query {EMPLOYEE, DATE}";
+    let er = Datamodel.Figures.fig1_er in
+    Datamodel.Er.interpretations ~k:3 er ~objects:Datamodel.Figures.fig1_query
+    |> List.iteri (fun i nodes ->
+           Printf.printf "  interpretation %d: {%s}\n" (i + 1)
+             (String.concat ", " nodes));
+    print_endline "";
+    print_endline "Universal-relation interface over a small company database:";
+    let db =
+      Relalg.Database.make
+        [
+          ( "works",
+            Relalg.Relation.make ~attrs:[ "emp"; "dept" ]
+              [ [ "alice"; "toys" ]; [ "bob"; "books" ] ] );
+          ( "located",
+            Relalg.Relation.make ~attrs:[ "dept"; "floor" ]
+              [ [ "toys"; "1" ]; [ "books"; "2" ] ] );
+          ( "managed",
+            Relalg.Relation.make ~attrs:[ "floor"; "manager" ]
+              [ [ "1"; "zoe" ]; [ "2"; "yann" ] ] );
+        ]
+    in
+    (match Datamodel.Interface.answer db ~query:[ "emp"; "manager" ] with
+    | Ok a ->
+      Printf.printf "  query {emp, manager} routed through: %s\n"
+        (String.concat ", "
+           a.Datamodel.Interface.connection.Datamodel.Query.relations_used);
+      Format.printf "  %a@." Relalg.Relation.pp a.Datamodel.Interface.result
+    | Error _ -> print_endline "  (query failed)")
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the Fig. 1 walk-through") Term.(const run $ const ())
+
+let () =
+  (match Sys.getenv_opt "MINCONN_DEBUG" with
+  | Some _ ->
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  | None -> ());
+  let info =
+    Cmd.info "minconn" ~version:Minconn.version
+      ~doc:
+        "Minimal conceptual connections on chordal bipartite graphs \
+         (Ausiello-D'Atri-Moscarini, PODS 1985)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            classify_cmd;
+            solve_cmd;
+            relations_cmd;
+            repair_cmd;
+            interpretations_cmd;
+            ask_cmd;
+            dot_cmd;
+            hypergraph_cmd;
+            generate_cmd;
+            figures_cmd;
+            demo_cmd;
+          ]))

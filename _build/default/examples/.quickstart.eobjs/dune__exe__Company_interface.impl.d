@@ -1,0 +1,1 @@
+examples/company_interface.ml: Datamodel Format Hypergraphs List Relalg String

@@ -1,0 +1,1 @@
+examples/concept_hierarchy.ml: Bipartite Datamodel Format Layered List String

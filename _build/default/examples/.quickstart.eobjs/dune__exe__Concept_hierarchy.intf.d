@@ -1,0 +1,1 @@
+examples/concept_hierarchy.mli:

@@ -1,0 +1,1 @@
+examples/disambiguation.ml: Datamodel Dialogue Format Hypergraphs List Query Schema String

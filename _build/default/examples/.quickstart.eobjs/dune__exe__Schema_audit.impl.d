@@ -1,0 +1,1 @@
+examples/schema_audit.ml: Bipartite Datamodel Format Hypergraphs List Query Repair Schema String

@@ -1,0 +1,1 @@
+examples/steiner_playground.ml: Algorithm2 Bigraph Bipartite Datamodel Dreyfus_wagner Format Graphs Iset List Mn_chordality Mst_approx Printf Reductions Steiner String Sys Tree Workloads

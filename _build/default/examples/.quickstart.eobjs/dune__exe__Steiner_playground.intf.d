@@ -1,0 +1,1 @@
+examples/steiner_playground.mli:

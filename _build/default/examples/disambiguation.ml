@@ -1,0 +1,74 @@
+(* A scripted run of the paper's interactive disambiguation procedure
+   (Section 1): the system proposes interpretations from smallest to
+   largest; the "user" — simulated here — rejects until the intended
+   reading appears, and we track how many auxiliary concepts had to be
+   disclosed.
+
+   Run with: dune exec examples/disambiguation.exe *)
+
+open Datamodel
+
+let schema =
+  (* Publications world: an 'authored' relationship and a 'cites'
+     relationship both connect papers; person meets year through either
+     authorship or editorship. *)
+  Schema.make
+    [
+      ("authored", [ "person"; "paper" ]);
+      ("published", [ "paper"; "venue"; "year" ]);
+      ("edited", [ "person"; "venue" ]);
+      ("located", [ "venue"; "city" ]);
+    ]
+
+let show_connection (c : Query.connection) =
+  Format.printf "    objects: {%s}@." (String.concat ", " c.Query.objects);
+  Format.printf "    via relations: %s@."
+    (String.concat ", " c.Query.relations_used)
+
+let run_dialogue ~objects ~accept_when =
+  Format.printf "@.query {%s}:@." (String.concat ", " objects);
+  let rec drive d round =
+    match Dialogue.current d with
+    | Dialogue.Proposing c ->
+      Format.printf "  proposal %d:@." round;
+      show_connection c;
+      if accept_when c then begin
+        Format.printf "  -> user accepts.@.";
+        drive (Dialogue.step d Dialogue.Accept) round
+      end
+      else begin
+        Format.printf "  -> user rejects; disclosing more concepts.@.";
+        drive (Dialogue.step d Dialogue.Reject) (round + 1)
+      end
+    | Dialogue.Settled c ->
+      Format.printf "  settled on {%s} after disclosing %d auxiliary concept(s).@."
+        (String.concat ", " c.Query.objects)
+        (List.length (Dialogue.disclosed d))
+    | Dialogue.Exhausted -> Format.printf "  no interpretation accepted.@."
+    | Dialogue.Failed _ -> Format.printf "  query failed.@."
+  in
+  drive (Dialogue.start schema ~objects) 1
+
+let () =
+  Format.printf "scheme degree: %s@."
+    (Hypergraphs.Acyclicity.degree_name (Schema.acyclicity schema));
+  (* User 1 wants the straightforward reading: person and year of their
+     own papers. *)
+  run_dialogue ~objects:[ "person"; "year" ] ~accept_when:(fun c ->
+      List.mem "authored" c.Query.relations_used);
+  (* User 2 means "years in which a venue this person edited published
+     anything" — a longer navigation; the minimal proposal is wrong for
+     them and gets rejected. *)
+  run_dialogue ~objects:[ "person"; "year" ] ~accept_when:(fun c ->
+      List.mem "edited" c.Query.relations_used);
+  (* Weighted variant: make 'edited' costly to disclose and watch the
+     minimal-cost connection avoid it. *)
+  let cost = function "edited" -> 10 | _ -> 1 in
+  match
+    Query.weighted_connection schema ~objects:[ "person"; "city" ] ~cost
+  with
+  | Ok (c, total) ->
+    Format.printf "@.weighted query {person, city} (edited costs 10):@.";
+    show_connection c;
+    Format.printf "    total disclosure cost: %d@." total
+  | Error _ -> Format.printf "weighted query failed@."

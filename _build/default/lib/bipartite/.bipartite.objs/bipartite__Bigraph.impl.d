@@ -1,0 +1,1 @@
+lib/bipartite/bigraph.ml: Array Format Graphs Iset List Queue Traverse Ugraph

@@ -1,0 +1,1 @@
+lib/bipartite/bigraph.mli: Format Graphs Iset Ugraph

@@ -1,0 +1,1 @@
+lib/bipartite/classify.ml: Acyclicity Bigraph Format Gyo Hypergraphs Mn_chordality Side_properties

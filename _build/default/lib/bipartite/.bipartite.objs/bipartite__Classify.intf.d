@@ -1,0 +1,1 @@
+lib/bipartite/classify.mli: Acyclicity Bigraph Format Hypergraphs

@@ -1,0 +1,1 @@
+lib/bipartite/correspond.ml: Array Bigraph Graphs Hypergraph Hypergraphs Iset List

@@ -1,0 +1,1 @@
+lib/bipartite/correspond.mli: Bigraph Hypergraph Hypergraphs

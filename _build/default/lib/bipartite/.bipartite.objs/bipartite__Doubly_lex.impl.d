@@ -1,0 +1,1 @@
+lib/bipartite/doubly_lex.ml: Array Bigraph List

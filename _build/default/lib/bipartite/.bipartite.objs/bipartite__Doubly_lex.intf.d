@@ -1,0 +1,1 @@
+lib/bipartite/doubly_lex.mli: Bigraph

@@ -1,0 +1,1 @@
+lib/bipartite/mn_chordality.ml: Beta Bigraph Correspond Cycles Gamma Graphs Hypergraphs Iset List Ugraph

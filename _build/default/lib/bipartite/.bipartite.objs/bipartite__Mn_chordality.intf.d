@@ -1,0 +1,1 @@
+lib/bipartite/mn_chordality.mli: Bigraph

@@ -1,0 +1,1 @@
+lib/bipartite/side_properties.ml: Array Bigraph Chordal Cliques Conformal Correspond Cycles Graphs Gyo Hypergraph Hypergraphs Iset List Ugraph

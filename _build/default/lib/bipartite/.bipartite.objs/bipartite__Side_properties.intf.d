@@ -1,0 +1,1 @@
+lib/bipartite/side_properties.mli: Bigraph Hypergraph Hypergraphs

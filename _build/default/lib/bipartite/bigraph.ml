@@ -1,0 +1,137 @@
+open Graphs
+
+type t = { nl : int; nr : int; g : Ugraph.t }
+type side = V1 | V2
+type node = L of int | R of int
+
+let create ~nl ~nr =
+  if nl < 0 || nr < 0 then invalid_arg "Bigraph.create";
+  { nl; nr; g = Ugraph.create (nl + nr) }
+
+let check_left g i =
+  if i < 0 || i >= g.nl then invalid_arg "Bigraph: left index out of range"
+
+let check_right g j =
+  if j < 0 || j >= g.nr then invalid_arg "Bigraph: right index out of range"
+
+let add_edge g i j =
+  check_left g i;
+  check_right g j;
+  { g with g = Ugraph.add_edge g.g i (g.nl + j) }
+
+let of_edges ~nl ~nr edges =
+  List.fold_left (fun g (i, j) -> add_edge g i j) (create ~nl ~nr) edges
+
+let nl g = g.nl
+let nr g = g.nr
+let n g = g.nl + g.nr
+let m g = Ugraph.m g.g
+let ugraph g = g.g
+
+let index g = function
+  | L i ->
+    check_left g i;
+    i
+  | R j ->
+    check_right g j;
+    g.nl + j
+
+let node_of_index g v =
+  if v < 0 || v >= g.nl + g.nr then invalid_arg "Bigraph.node_of_index";
+  if v < g.nl then L v else R (v - g.nl)
+
+let side_of_index g v =
+  match node_of_index g v with L _ -> V1 | R _ -> V2
+
+let left_nodes g = Iset.range g.nl
+
+let right_nodes g =
+  Iset.of_list (List.init g.nr (fun j -> g.nl + j))
+
+let nodes_of_side g = function V1 -> left_nodes g | V2 -> right_nodes g
+
+let mem_edge g i j =
+  check_left g i;
+  check_right g j;
+  Ugraph.mem_edge g.g i (g.nl + j)
+
+let right_neighbors g i =
+  check_left g i;
+  Iset.map (fun v -> v - g.nl) (Ugraph.neighbors g.g i)
+
+let left_neighbors g j =
+  check_right g j;
+  Ugraph.neighbors g.g (g.nl + j)
+
+let edges g =
+  List.filter_map
+    (fun (u, v) -> if u < g.nl then Some (u, v - g.nl) else None)
+    (Ugraph.edges g.g)
+
+let flip g =
+  let b = Ugraph.Builder.create (g.nl + g.nr) in
+  List.iter
+    (fun (i, j) -> Ugraph.Builder.add_edge b (g.nr + i) j)
+    (edges g);
+  { nl = g.nr; nr = g.nl; g = Ugraph.Builder.build b }
+
+let of_ugraph u =
+  let n = Ugraph.n u in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  let bfs s =
+    color.(s) <- 0;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      Iset.iter
+        (fun y ->
+          if color.(y) = -1 then begin
+            color.(y) <- 1 - color.(x);
+            Queue.add y q
+          end
+          else if color.(y) = color.(x) then ok := false)
+        (Ugraph.neighbors u x)
+    done
+  in
+  for s = 0 to n - 1 do
+    if color.(s) = -1 then
+      if Iset.is_empty (Ugraph.neighbors u s) then color.(s) <- 0 else bfs s
+  done;
+  if not !ok then None
+  else begin
+    let mapping = Array.make n (L 0) in
+    let next_l = ref 0 and next_r = ref 0 in
+    for v = 0 to n - 1 do
+      if color.(v) = 0 then begin
+        mapping.(v) <- L !next_l;
+        incr next_l
+      end
+      else begin
+        mapping.(v) <- R !next_r;
+        incr next_r
+      end
+    done;
+    let g = ref (create ~nl:!next_l ~nr:!next_r) in
+    List.iter
+      (fun (x, y) ->
+        match (mapping.(x), mapping.(y)) with
+        | L i, R j | R j, L i -> g := add_edge !g i j
+        | L _, L _ | R _, R _ -> assert false)
+      (Ugraph.edges u);
+    Some (!g, mapping)
+  end
+
+let is_connected g = Traverse.is_connected g.g
+
+let equal a b = a.nl = b.nl && a.nr = b.nr && Ugraph.equal a.g b.g
+
+let pp_node ppf = function
+  | L i -> Format.fprintf ppf "L%d" i
+  | R j -> Format.fprintf ppf "R%d" j
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>bipartite %d+%d nodes, %d edges" g.nl g.nr (m g);
+  List.iter (fun (i, j) -> Format.fprintf ppf "@,  L%d -- R%d" i j) (edges g);
+  Format.fprintf ppf "@]"

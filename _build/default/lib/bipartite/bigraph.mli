@@ -1,0 +1,77 @@
+(** Bipartite graphs [G = (V1, V2, A)] (Definition 1).
+
+    Left nodes ([V1], indices [0 .. nl-1]) model the paper's attribute /
+    lower conceptual level; right nodes ([V2], indices [0 .. nr-1])
+    model relations / higher level. Internally the graph is a plain
+    {!Graphs.Ugraph.t} on [nl + nr] nodes with right node [j] stored at
+    index [nl + j], so every generic graph algorithm applies directly;
+    this module maintains the bipartition invariant and provides typed
+    access. *)
+
+open Graphs
+
+type t
+
+type side = V1 | V2
+
+(** A typed node: [L i] is the [i]-th left node, [R j] the [j]-th right
+    node. *)
+type node = L of int | R of int
+
+val create : nl:int -> nr:int -> t
+
+val of_edges : nl:int -> nr:int -> (int * int) list -> t
+(** Edges as (left index, right index) pairs. *)
+
+val add_edge : t -> int -> int -> t
+(** [add_edge g i j] connects left [i] and right [j]. *)
+
+val nl : t -> int
+val nr : t -> int
+val n : t -> int
+val m : t -> int
+
+val ugraph : t -> Ugraph.t
+(** The underlying graph; left node [i] is index [i], right node [j] is
+    index [nl + j]. *)
+
+val index : t -> node -> int
+val node_of_index : t -> int -> node
+val side_of_index : t -> int -> side
+
+val left_nodes : t -> Iset.t
+(** As underlying indices. *)
+
+val right_nodes : t -> Iset.t
+(** As underlying indices ([nl .. nl+nr-1]). *)
+
+val nodes_of_side : t -> side -> Iset.t
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g i j]: left [i] adjacent to right [j]? *)
+
+val right_neighbors : t -> int -> Iset.t
+(** [right_neighbors g i]: right {e indices} (not underlying indices)
+    adjacent to left node [i]. *)
+
+val left_neighbors : t -> int -> Iset.t
+(** [left_neighbors g j]: left indices adjacent to right node [j]. *)
+
+val edges : t -> (int * int) list
+(** As (left index, right index) pairs. *)
+
+val flip : t -> t
+(** Swap the two sides. *)
+
+val of_ugraph : Ugraph.t -> (t * node array) option
+(** 2-colour a graph: [Some (bg, mapping)] when bipartite, where
+    [mapping.(v)] tells where underlying node [v] of the input went.
+    Isolated nodes are placed on the left. *)
+
+val is_connected : t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_node : Format.formatter -> node -> unit

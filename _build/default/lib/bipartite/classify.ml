@@ -1,0 +1,80 @@
+open Hypergraphs
+
+type profile = {
+  chordal_41 : bool;
+  chordal_62 : bool;
+  chordal_61 : bool;
+  v2_chordal : bool;
+  v2_conformal : bool;
+  v1_chordal : bool;
+  v1_conformal : bool;
+  alpha_h1 : bool;
+  alpha_h2 : bool;
+  degree_h1 : Acyclicity.degree;
+  degree_h2 : Acyclicity.degree;
+}
+
+type recommendation =
+  | Steiner_polynomial
+  | Pseudo_steiner_v2
+  | Pseudo_steiner_v1
+  | Pseudo_steiner_both
+  | Exact_search_only
+
+let profile g =
+  let h1 = Side_properties.hypergraph_of_witness_side g Bigraph.V2 in
+  let h2 = Side_properties.hypergraph_of_witness_side g Bigraph.V1 in
+  {
+    chordal_41 = Mn_chordality.is_41_chordal g;
+    chordal_62 = Mn_chordality.is_62_chordal g;
+    chordal_61 = Mn_chordality.is_61_chordal g;
+    v2_chordal = Side_properties.chordal g Bigraph.V2;
+    v2_conformal = Side_properties.conformal g Bigraph.V2;
+    v1_chordal = Side_properties.chordal g Bigraph.V1;
+    v1_conformal = Side_properties.conformal g Bigraph.V1;
+    alpha_h1 = Gyo.alpha_acyclic h1;
+    alpha_h2 = Gyo.alpha_acyclic h2;
+    degree_h1 = Acyclicity.degree h1;
+    degree_h2 = Acyclicity.degree h2;
+  }
+
+let recommend p =
+  if p.chordal_62 then Steiner_polynomial
+  else
+    match (p.alpha_h1, p.alpha_h2) with
+    | true, true -> Pseudo_steiner_both
+    | true, false -> Pseudo_steiner_v2
+    | false, true -> Pseudo_steiner_v1
+    | false, false -> Exact_search_only
+
+let recommendation_name = function
+  | Steiner_polynomial -> "Steiner solvable in P (Algorithm 2, Theorem 5)"
+  | Pseudo_steiner_v2 -> "pseudo-Steiner w.r.t. V2 in P (Algorithm 1, Theorem 4)"
+  | Pseudo_steiner_v1 -> "pseudo-Steiner w.r.t. V1 in P (Algorithm 1, flipped)"
+  | Pseudo_steiner_both -> "pseudo-Steiner w.r.t. either side in P (Algorithm 1)"
+  | Exact_search_only -> "no chordality structure: exact search / approximation"
+
+let theorem1_consistent p =
+  (* Theorem 1 (v)/(vi). *)
+  p.alpha_h1 = (p.v2_chordal && p.v2_conformal)
+  && p.alpha_h2 = (p.v1_chordal && p.v1_conformal)
+  (* Hierarchy along (4,1) ⊆ (6,2) ⊆ (6,1). *)
+  && ((not p.chordal_41) || p.chordal_62)
+  && ((not p.chordal_62) || p.chordal_61)
+  (* Corollary 2: (6,1)-chordal implies chordal+conformal on both sides. *)
+  && ((not p.chordal_61) || (p.alpha_h1 && p.alpha_h2))
+
+let pp_profile ppf p =
+  let b = function true -> "yes" | false -> "no" in
+  Format.fprintf ppf
+    "@[<v>(4,1)-chordal (forest):      %s@,\
+     (6,2)-chordal (gamma):       %s@,\
+     (6,1)-chordal (beta):        %s@,\
+     V2-chordal / V2-conformal:   %s / %s@,\
+     V1-chordal / V1-conformal:   %s / %s@,\
+     H1 degree: %s@,\
+     H2 degree: %s@]"
+    (b p.chordal_41) (b p.chordal_62) (b p.chordal_61) (b p.v2_chordal)
+    (b p.v2_conformal) (b p.v1_chordal) (b p.v1_conformal)
+    (Acyclicity.degree_name p.degree_h1)
+    (Acyclicity.degree_name p.degree_h2)

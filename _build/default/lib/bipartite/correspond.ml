@@ -1,0 +1,31 @@
+open Graphs
+open Hypergraphs
+
+let h1_exn g =
+  let family =
+    List.init (Bigraph.nr g) (fun j -> Bigraph.left_neighbors g j)
+  in
+  if List.exists Iset.is_empty family then
+    invalid_arg "Correspond.h1_exn: isolated right node gives empty edge";
+  Hypergraph.create ~n_nodes:(Bigraph.nl g) family
+
+let h1 g =
+  let indexed =
+    List.init (Bigraph.nr g) (fun j -> (j, Bigraph.left_neighbors g j))
+    |> List.filter (fun (_, e) -> not (Iset.is_empty e))
+  in
+  ( Hypergraph.create ~n_nodes:(Bigraph.nl g) (List.map snd indexed),
+    Array.of_list (List.map fst indexed) )
+
+let h2_exn g = h1_exn (Bigraph.flip g)
+let h2 g = h1 (Bigraph.flip g)
+
+let of_hypergraph h =
+  let edges = ref [] in
+  Array.iteri
+    (fun j e -> Iset.iter (fun v -> edges := (v, j) :: !edges) e)
+    (Hypergraph.edges h);
+  Bigraph.of_edges ~nl:(Hypergraph.n_nodes h) ~nr:(Hypergraph.n_edges h)
+    !edges
+
+let round_trip_h1 g = Bigraph.equal (of_hypergraph (h1_exn g)) g

@@ -1,0 +1,31 @@
+(** The bipartite-graph / hypergraph correspondence of Definition 2.
+
+    [H¹_G] has one node per left node of [G] and one hyperedge per right
+    node (its left neighborhood); [H²_G] is the same construction from
+    the other side, and is the dual hypergraph of [H¹_G] (Definition 3).
+    Right nodes with no neighbor would give an empty hyperedge, which
+    Definition 1 forbids; the lenient constructors drop them and report
+    the mapping. *)
+
+open Hypergraphs
+
+val h1_exn : Bigraph.t -> Hypergraph.t
+(** Hyperedge [j] is the left neighborhood of right node [j]. Raises
+    [Invalid_argument] if some right node is isolated. *)
+
+val h1 : Bigraph.t -> Hypergraph.t * int array
+(** Like {!h1_exn} but isolated right nodes are skipped; the array maps
+    hyperedge index to right-node index. *)
+
+val h2_exn : Bigraph.t -> Hypergraph.t
+
+val h2 : Bigraph.t -> Hypergraph.t * int array
+
+val of_hypergraph : Hypergraph.t -> Bigraph.t
+(** Incidence bipartite graph: left nodes are the hypergraph's nodes,
+    right nodes its edges (in index order). *)
+
+val round_trip_h1 : Bigraph.t -> bool
+(** [of_hypergraph (h1_exn g)] equals [g]: holds whenever [g] has no
+    isolated right node (isolated left nodes survive the round trip
+    since the hypergraph keeps its full node universe). *)

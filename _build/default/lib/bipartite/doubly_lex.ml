@@ -1,0 +1,68 @@
+type ordering = { rows : int list; cols : int list; converged : bool }
+
+let matrix g =
+  Array.init (Bigraph.nl g) (fun i ->
+      Array.init (Bigraph.nr g) (fun j ->
+          if Bigraph.mem_edge g i j then 1 else 0))
+
+(* Vectors are compared with the last position most significant: read
+   them reversed and compare ascending. *)
+let row_vec m cols i = List.rev_map (fun j -> m.(i).(j)) cols
+let col_vec m rows j = List.rev_map (fun i -> m.(i).(j)) rows
+
+let sort_rows m rows cols =
+  List.stable_sort (fun a b -> compare (row_vec m cols a) (row_vec m cols b)) rows
+
+let sort_cols m rows cols =
+  List.stable_sort (fun a b -> compare (col_vec m rows a) (col_vec m rows b)) cols
+
+let ordering ?max_rounds g =
+  let nl = Bigraph.nl g and nr = Bigraph.nr g in
+  let cap = match max_rounds with Some c -> c | None -> (4 * (nl + nr)) + 16 in
+  let m = matrix g in
+  let rows = ref (List.init nl (fun i -> i)) in
+  let cols = ref (List.init nr (fun j -> j)) in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < cap do
+    incr rounds;
+    let r' = sort_rows m !rows !cols in
+    let c' = sort_cols m r' !cols in
+    changed := r' <> !rows || c' <> !cols;
+    rows := r';
+    cols := c'
+  done;
+  { rows = !rows; cols = !cols; converged = not !changed }
+
+let permutation_of base l = List.sort compare l = base
+
+let is_doubly_lexical g ~rows ~cols =
+  let m = matrix g in
+  permutation_of (List.init (Bigraph.nl g) (fun i -> i)) rows
+  && permutation_of (List.init (Bigraph.nr g) (fun j -> j)) cols
+  && sort_rows m rows cols = rows
+  && sort_cols m rows cols = cols
+
+let gamma_free g ~rows ~cols =
+  let m = matrix g in
+  let ra = Array.of_list rows and ca = Array.of_list cols in
+  let ok = ref true in
+  for i = 0 to Array.length ra - 1 do
+    for k = i + 1 to Array.length ra - 1 do
+      for j = 0 to Array.length ca - 1 do
+        for l = j + 1 to Array.length ca - 1 do
+          if
+            m.(ra.(i)).(ca.(j)) = 1
+            && m.(ra.(i)).(ca.(l)) = 1
+            && m.(ra.(k)).(ca.(j)) = 1
+            && m.(ra.(k)).(ca.(l)) = 0
+          then ok := false
+        done
+      done
+    done
+  done;
+  !ok
+
+let is_61_chordal_doubly_lex g =
+  let o = ordering g in
+  o.converged && gamma_free g ~rows:o.rows ~cols:o.cols

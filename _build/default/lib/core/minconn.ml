@@ -1,0 +1,79 @@
+
+module Iset = Graphs.Iset
+module Ugraph = Graphs.Ugraph
+module Traverse = Graphs.Traverse
+module Chordal = Graphs.Chordal
+module Strongly_chordal = Graphs.Strongly_chordal
+module Hypergraph = Hypergraphs.Hypergraph
+module Acyclicity = Hypergraphs.Acyclicity
+module Gyo = Hypergraphs.Gyo
+module Join_tree = Hypergraphs.Join_tree
+module Decomposition = Hypergraphs.Decomposition
+module Bigraph = Bipartite.Bigraph
+module Correspond = Bipartite.Correspond
+module Classify = Bipartite.Classify
+module Mn_chordality = Bipartite.Mn_chordality
+module Side_properties = Bipartite.Side_properties
+module Tree = Steiner.Tree
+module Kbest = Steiner.Kbest
+module Weighted = Steiner.Weighted
+module Local_search = Steiner.Local_search
+module Algorithm1 = Steiner.Algorithm1
+module Algorithm2 = Steiner.Algorithm2
+module Dreyfus_wagner = Steiner.Dreyfus_wagner
+module Mst_approx = Steiner.Mst_approx
+module Schema = Datamodel.Schema
+module Er = Datamodel.Er
+module Query = Datamodel.Query
+module Interface = Datamodel.Interface
+module Dialogue = Datamodel.Dialogue
+module Layered = Datamodel.Layered
+module Repair = Datamodel.Repair
+module Figures = Datamodel.Figures
+
+type method_used =
+  | Used_forest
+  | Used_algorithm2
+  | Used_exact_dp
+  | Used_elimination
+
+type solution = {
+  tree : Tree.t;
+  method_used : method_used;
+  optimal : bool;
+  profile : Classify.profile;
+}
+
+let solve_steiner g ~p =
+  let profile = Classify.profile g in
+  let u = Bigraph.ugraph g in
+  if not (Traverse.connects u p) then None
+  else if profile.Classify.chordal_41 then
+    match Steiner.Forest_steiner.solve u ~terminals:p with
+    | Some tree ->
+      Some { tree; method_used = Used_forest; optimal = true; profile }
+    | None -> None
+  else if profile.Classify.chordal_62 then
+    match Algorithm2.solve u ~p with
+    | Some tree ->
+      Some { tree; method_used = Used_algorithm2; optimal = true; profile }
+    | None -> None
+  else if Iset.cardinal p <= Dreyfus_wagner.max_terminals then
+    match Dreyfus_wagner.solve u ~terminals:p with
+    | Some tree ->
+      Some { tree; method_used = Used_exact_dp; optimal = true; profile }
+    | None -> None
+  else
+    match Algorithm2.solve u ~p with
+    | Some tree ->
+      Some { tree; method_used = Used_elimination; optimal = false; profile }
+    | None -> None
+
+let solve_min_relations g ~p = Algorithm1.solve g ~p
+
+let report g =
+  let profile = Classify.profile g in
+  Format.asprintf "%a@.recommendation: %s@." Classify.pp_profile profile
+    (Classify.recommendation_name (Classify.recommend profile))
+
+let version = "1.0.0"

@@ -1,0 +1,74 @@
+(** Facade of the library: classify a conceptual scheme, pick the right
+    solver per the paper's complexity map, and solve minimal-connection
+    queries. The submodule aliases re-export the full API so that
+    [Minconn] is the single entry point a downstream user needs.
+
+    Paper: Ausiello, D'Atri, Moscarini — "Chordality properties on
+    graphs and minimal conceptual connections in semantic data models"
+    (PODS 1985 / JCSS 1986). *)
+
+
+(** {1 Re-exports} *)
+
+module Iset = Graphs.Iset
+module Ugraph = Graphs.Ugraph
+module Traverse = Graphs.Traverse
+module Chordal = Graphs.Chordal
+module Strongly_chordal = Graphs.Strongly_chordal
+module Hypergraph = Hypergraphs.Hypergraph
+module Acyclicity = Hypergraphs.Acyclicity
+module Gyo = Hypergraphs.Gyo
+module Join_tree = Hypergraphs.Join_tree
+module Decomposition = Hypergraphs.Decomposition
+module Bigraph = Bipartite.Bigraph
+module Correspond = Bipartite.Correspond
+module Classify = Bipartite.Classify
+module Mn_chordality = Bipartite.Mn_chordality
+module Side_properties = Bipartite.Side_properties
+module Tree = Steiner.Tree
+module Kbest = Steiner.Kbest
+module Weighted = Steiner.Weighted
+module Local_search = Steiner.Local_search
+module Algorithm1 = Steiner.Algorithm1
+module Algorithm2 = Steiner.Algorithm2
+module Dreyfus_wagner = Steiner.Dreyfus_wagner
+module Mst_approx = Steiner.Mst_approx
+module Schema = Datamodel.Schema
+module Er = Datamodel.Er
+module Query = Datamodel.Query
+module Interface = Datamodel.Interface
+module Dialogue = Datamodel.Dialogue
+module Layered = Datamodel.Layered
+module Repair = Datamodel.Repair
+module Figures = Datamodel.Figures
+
+(** {1 One-call solving} *)
+
+(** Which solver produced a result and with what guarantee. *)
+type method_used =
+  | Used_forest  (** exact and unique: graph is (4,1)-chordal *)
+  | Used_algorithm2  (** exact: graph is (6,2)-chordal (Theorem 5) *)
+  | Used_exact_dp  (** exact: Dreyfus–Wagner *)
+  | Used_elimination  (** heuristic nonredundant cover (no guarantee) *)
+
+type solution = {
+  tree : Tree.t;
+  method_used : method_used;
+  optimal : bool;
+  profile : Classify.profile;
+}
+
+val solve_steiner : Bigraph.t -> p:Iset.t -> solution option
+(** Minimal connection over [p] (underlying indices): Algorithm 2 when
+    the classification licenses it, Dreyfus–Wagner when the terminal
+    count allows, elimination otherwise. [None] if [p] is
+    disconnected. *)
+
+val solve_min_relations :
+  Bigraph.t -> p:Iset.t -> (Algorithm1.result, Algorithm1.error) result
+(** Algorithm 1 (pseudo-Steiner w.r.t. V₂). *)
+
+val report : Bigraph.t -> string
+(** Human-readable classification + recommendation, used by the CLI. *)
+
+val version : string

@@ -1,0 +1,1 @@
+lib/datamodel/corpus.ml: Schema

@@ -1,0 +1,1 @@
+lib/datamodel/dialogue.ml: List Query

@@ -1,0 +1,1 @@
+lib/datamodel/dialogue.mli: Query Schema

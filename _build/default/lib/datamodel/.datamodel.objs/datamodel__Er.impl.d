@@ -1,0 +1,1 @@
+lib/datamodel/er.ml: Array Bipartite Dreyfus_wagner Graphs Iset Kbest List Printf Schema Steiner Tree Ugraph

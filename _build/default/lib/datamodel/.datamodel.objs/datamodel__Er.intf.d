@@ -1,0 +1,1 @@
+lib/datamodel/er.mli: Graphs Schema Ugraph

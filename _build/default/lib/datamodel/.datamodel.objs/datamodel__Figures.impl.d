@@ -1,0 +1,1 @@
+lib/datamodel/figures.ml: Array Bigraph Bipartite Dreyfus_wagner Er Graphs Iset List Steiner Ugraph X3c

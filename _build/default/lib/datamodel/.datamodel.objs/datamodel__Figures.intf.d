@@ -1,0 +1,1 @@
+lib/datamodel/figures.mli: Bigraph Bipartite Er Graphs Iset Steiner Ugraph X3c

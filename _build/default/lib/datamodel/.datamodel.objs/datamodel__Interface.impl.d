@@ -1,0 +1,1 @@
+lib/datamodel/interface.ml: List Query Relalg Schema

@@ -1,0 +1,1 @@
+lib/datamodel/interface.mli: Query Relalg

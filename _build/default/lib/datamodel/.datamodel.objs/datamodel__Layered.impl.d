@@ -1,0 +1,1 @@
+lib/datamodel/layered.ml: Array Bigraph Bipartite Classify Dreyfus_wagner Graphs Hashtbl Iset Kbest List Printf Steiner Tree

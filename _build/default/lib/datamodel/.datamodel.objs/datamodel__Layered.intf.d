@@ -1,0 +1,1 @@
+lib/datamodel/layered.mli: Bigraph Bipartite Classify

@@ -1,0 +1,1 @@
+lib/datamodel/query.ml: Algorithm1 Algorithm2 Bigraph Bipartite Dreyfus_wagner Format Graphs Iset Kbest List Mn_chordality Schema Steiner String Tree Weighted

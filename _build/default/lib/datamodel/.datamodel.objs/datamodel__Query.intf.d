@@ -1,0 +1,1 @@
+lib/datamodel/query.mli: Format Graphs Iset Schema Steiner

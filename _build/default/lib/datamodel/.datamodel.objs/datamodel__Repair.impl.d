@@ -1,0 +1,1 @@
+lib/datamodel/repair.ml: Acyclicity Array Berge Beta Buffer Gamma Gyo Hypergraphs List Printf Schema String

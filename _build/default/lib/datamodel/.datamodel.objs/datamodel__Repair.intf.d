@@ -1,0 +1,1 @@
+lib/datamodel/repair.mli: Schema

@@ -1,0 +1,1 @@
+lib/datamodel/schema.ml: Acyclicity Bigraph Bipartite Classify Format Graphs Hypergraph Hypergraphs Iset List Relalg String

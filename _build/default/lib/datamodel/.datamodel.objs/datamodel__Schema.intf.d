@@ -1,0 +1,1 @@
+lib/datamodel/schema.mli: Acyclicity Bigraph Bipartite Classify Format Hypergraph Hypergraphs Relalg

@@ -1,0 +1,59 @@
+(* Attribute naming: shared key attributes carry the same name across
+   relations (the universal-relation convention), everything else is
+   relation-local. *)
+
+let tpch =
+  Schema.make
+    [
+      ("region", [ "regionkey"; "r_name" ]);
+      ("nation", [ "nationkey"; "regionkey"; "n_name" ]);
+      ("supplier", [ "suppkey"; "nationkey"; "s_name"; "s_acctbal" ]);
+      ("customer", [ "custkey"; "nationkey"; "c_name"; "c_mktsegment" ]);
+      ("part", [ "partkey"; "p_name"; "p_brand"; "p_retailprice" ]);
+      ("partsupp", [ "partkey"; "suppkey"; "ps_supplycost" ]);
+      ("orders", [ "orderkey"; "custkey"; "o_orderdate"; "o_totalprice" ]);
+      ( "lineitem",
+        [ "orderkey"; "partkey"; "suppkey"; "l_quantity"; "l_shipdate" ] );
+    ]
+
+let university =
+  Schema.make
+    [
+      ("department", [ "deptname"; "building" ]);
+      ("instructor", [ "instrid"; "deptname"; "iname"; "salary" ]);
+      ("student", [ "studid"; "deptname"; "sname" ]);
+      ("course", [ "courseid"; "deptname"; "title" ]);
+      ("section", [ "courseid"; "sectionid"; "semester"; "room" ]);
+      ("teaches", [ "instrid"; "courseid"; "sectionid" ]);
+      ("takes", [ "studid"; "courseid"; "sectionid"; "grade" ]);
+    ]
+
+let airline =
+  Schema.make
+    [
+      ("airports", [ "airport"; "city" ]);
+      ("aircraft", [ "tailno"; "model"; "seats" ]);
+      ( "flight",
+        [ "flightno"; "airport"; "dest"; "tailno"; "departure" ] );
+      ("passenger", [ "paxid"; "pname" ]);
+      ("booking", [ "paxid"; "flightno"; "fare" ]);
+    ]
+
+let snowflake =
+  Schema.make
+    [
+      ("fact_sales", [ "dateid"; "storeid"; "productid"; "amount" ]);
+      ("dim_date", [ "dateid"; "month"; "year" ]);
+      ("dim_store", [ "storeid"; "cityid"; "store_name" ]);
+      ("dim_city", [ "cityid"; "country" ]);
+      ("dim_product", [ "productid"; "categoryid"; "product_name" ]);
+      ("dim_category", [ "categoryid"; "category_name" ]);
+    ]
+
+let all =
+  [
+    ("tpch", tpch);
+    ("university", university);
+    ("airline", airline);
+    ("snowflake", snowflake);
+  ]

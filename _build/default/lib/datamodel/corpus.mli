@@ -1,0 +1,22 @@
+(** A small corpus of realistic database schemas (classic benchmark and
+    textbook shapes), used to ground the paper's premise that practical
+    schemas are sparse enough to land in its tractable classes. Each
+    entry is a plain {!Schema.t}; the test suite and the benchmark
+    harness classify all of them. *)
+
+val tpch : Schema.t
+(** The TPC-H decision-support schema (8 relations), keys-as-attributes
+    abstraction. *)
+
+val university : Schema.t
+(** The classic registrar schema: students, courses, sections,
+    instructors, departments. *)
+
+val airline : Schema.t
+(** Flights, airports, aircraft, bookings, passengers. *)
+
+val snowflake : Schema.t
+(** A two-level dimensional model: fact table, dimensions, and
+    sub-dimensions. *)
+
+val all : (string * Schema.t) list

@@ -1,0 +1,51 @@
+type reaction = Accept | Reject
+
+type outcome =
+  | Proposing of Query.connection
+  | Settled of Query.connection
+  | Exhausted
+  | Failed of Query.error
+
+type t = {
+  pending : Query.connection list;
+  state : outcome;
+  history : (Query.connection * reaction) list;  (* newest first *)
+}
+
+let start ?(max_alternatives = 8) schema ~objects =
+  match Query.terminals_of_objects schema objects with
+  | Error e -> { pending = []; state = Failed e; history = [] }
+  | Ok _ -> (
+    match Query.interpretations ~k:max_alternatives schema ~objects with
+    | [] -> (
+      (* Distinguish a disconnected query from an unknown-object one. *)
+      match Query.minimal_connection schema ~objects with
+      | Error e -> { pending = []; state = Failed e; history = [] }
+      | Ok c -> { pending = []; state = Proposing c; history = [] })
+    | first :: rest ->
+      { pending = rest; state = Proposing first; history = [] })
+
+let current t = t.state
+
+let step t reaction =
+  match (t.state, reaction) with
+  | Proposing c, Accept ->
+    { t with state = Settled c; history = (c, Accept) :: t.history }
+  | Proposing c, Reject -> (
+    let history = (c, Reject) :: t.history in
+    match t.pending with
+    | [] -> { pending = []; state = Exhausted; history }
+    | next :: rest -> { pending = rest; state = Proposing next; history })
+  | (Settled _ | Exhausted | Failed _), _ -> t
+
+let disclosed t =
+  let of_conn c = c.Query.auxiliary in
+  let shown =
+    List.concat_map (fun (c, _) -> of_conn c) t.history
+    @ (match t.state with
+      | Proposing c | Settled c -> of_conn c
+      | Exhausted | Failed _ -> [])
+  in
+  List.sort_uniq compare shown
+
+let transcript t = List.rev t.history

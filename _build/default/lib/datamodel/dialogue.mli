@@ -1,0 +1,35 @@
+(** The interactive disambiguation procedure of the paper's
+    introduction, as a pure state machine: propose the minimal
+    interpretation first ("the most immediate interpretation of the
+    query"), and on each rejection disclose the next-smallest
+    alternative — so a casual user confirms a reading while being shown
+    as few auxiliary concepts as possible.
+
+    The machine is driven by {!step}; embedders render
+    {!val:proposal} and feed back {!type:reaction}s. *)
+
+type t
+
+type reaction = Accept | Reject
+
+type outcome =
+  | Proposing of Query.connection  (** awaiting the user's reaction *)
+  | Settled of Query.connection  (** the user accepted this reading *)
+  | Exhausted  (** no interpretation left to offer *)
+  | Failed of Query.error
+
+val start : ?max_alternatives:int -> Schema.t -> objects:string list -> t
+(** Prepare a dialogue for the query (default: up to 8 alternatives). *)
+
+val current : t -> outcome
+
+val step : t -> reaction -> t
+(** [step t Accept] settles on the current proposal; [step t Reject]
+    advances to the next one. No-op once settled/exhausted/failed. *)
+
+val disclosed : t -> string list
+(** All auxiliary objects shown to the user so far — the quantity the
+    paper's procedure tries to keep small. *)
+
+val transcript : t -> (Query.connection * reaction) list
+(** Proposals already reacted to, oldest first. *)

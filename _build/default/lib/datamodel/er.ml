@@ -1,0 +1,139 @@
+open Graphs
+open Steiner
+
+type t = {
+  ents : (string * string list) list;
+  rels : (string * string list * string list) list;
+  names : string array;  (* attribute names, then entities, then relationships *)
+}
+
+let make ~entities ~relationships =
+  let attr_names =
+    List.sort_uniq compare
+      (List.concat_map snd entities
+      @ List.concat_map (fun (_, _, attrs) -> attrs) relationships)
+  in
+  let entity_names = List.map fst entities in
+  let rel_names = List.map (fun (n, _, _) -> n) relationships in
+  let all = attr_names @ entity_names @ rel_names in
+  if List.length (List.sort_uniq compare all) <> List.length all then
+    invalid_arg "Er.make: duplicate object name";
+  List.iter
+    (fun (n, ents, _) ->
+      List.iter
+        (fun e ->
+          if not (List.mem e entity_names) then
+            invalid_arg
+              (Printf.sprintf "Er.make: relationship %s references unknown entity %s" n e))
+        ents)
+    relationships;
+  { ents = entities; rels = relationships; names = Array.of_list all }
+
+let objects t = Array.to_list t.names
+let entities t = List.map fst t.ents
+let relationships t = List.map (fun (n, _, _) -> n) t.rels
+
+let attributes t =
+  List.sort_uniq compare
+    (List.concat_map snd t.ents
+    @ List.concat_map (fun (_, _, attrs) -> attrs) t.rels)
+
+let object_index t name =
+  let rec go i =
+    if i >= Array.length t.names then None
+    else if t.names.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let object_name t i =
+  if i < 0 || i >= Array.length t.names then
+    invalid_arg "Er.object_name: out of range";
+  t.names.(i)
+
+let to_ugraph t =
+  let idx name =
+    match object_index t name with Some i -> i | None -> assert false
+  in
+  let b = Ugraph.Builder.create (Array.length t.names) in
+  List.iter
+    (fun (e, attrs) ->
+      List.iter (fun a -> Ugraph.Builder.add_edge b (idx e) (idx a)) attrs)
+    t.ents;
+  List.iter
+    (fun (r, ents, attrs) ->
+      List.iter (fun e -> Ugraph.Builder.add_edge b (idx r) (idx e)) ents;
+      List.iter (fun a -> Ugraph.Builder.add_edge b (idx r) (idx a)) attrs)
+    t.rels;
+  Ugraph.Builder.build b
+
+let is_bipartite t =
+  match Bipartite.Bigraph.of_ugraph (to_ugraph t) with
+  | Some _ -> true
+  | None -> false
+
+let resolve t names =
+  let rec go acc = function
+    | [] -> Some acc
+    | n :: rest -> (
+      match object_index t n with
+      | Some i -> go (Iset.add i acc) rest
+      | None -> None)
+  in
+  go Iset.empty names
+
+let minimal_connection t ~objects =
+  match resolve t objects with
+  | None -> None
+  | Some p -> (
+    let g = to_ugraph t in
+    if Iset.cardinal p > Dreyfus_wagner.max_terminals then None
+    else
+      match Dreyfus_wagner.solve g ~terminals:p with
+      | None -> None
+      | Some tree ->
+        let name = object_name t in
+        Some
+          ( List.map name (Iset.elements tree.Tree.nodes),
+            List.map (fun (u, v) -> (name u, name v)) tree.Tree.edges ))
+
+(* Alternative interpretations: force one extra object into the
+   connection and re-solve exactly; keep only trees whose every leaf is
+   a query object (a forced object left dangling as a leaf is not a
+   different navigation, just a decorated copy of another answer). *)
+let interpretations ?(k = 3) t ~objects =
+  match resolve t objects with
+  | None -> []
+  | Some p ->
+    if Iset.cardinal p + 1 > Dreyfus_wagner.max_terminals then []
+    else begin
+      let g = to_ugraph t in
+      let dedupe_by_nodes trees =
+        List.fold_left
+          (fun acc tr ->
+            if List.exists (fun t' -> Iset.equal t'.Tree.nodes tr.Tree.nodes) acc
+            then acc
+            else tr :: acc)
+          [] trees
+        |> List.rev
+      in
+      let candidates =
+        Kbest.enumerate ~max_trees:(4 * k) g ~terminals:p |> dedupe_by_nodes
+      in
+      let to_names tree =
+        List.map (object_name t) (Iset.elements tree.Tree.nodes)
+      in
+      List.filteri (fun i _ -> i < k) (List.map to_names candidates)
+    end
+
+let to_schema t =
+  let key e = e ^ "_key" in
+  let entity_rels =
+    List.map (fun (e, attrs) -> (e, key e :: attrs)) t.ents
+  in
+  let rel_rels =
+    List.map
+      (fun (r, ents, attrs) -> (r, List.map key ents @ attrs))
+      t.rels
+  in
+  Schema.make (entity_rels @ rel_rels)

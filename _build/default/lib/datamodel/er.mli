@@ -1,0 +1,55 @@
+(** Entity–relationship schemes (the paper's Fig. 1 setting): entities
+    aggregate attributes; relationships aggregate entities and
+    attributes. The associated object graph is 3-partite and in general
+    {e not} bipartite (an attribute shared by an entity and a
+    relationship closes an odd cycle), so minimal connections here use
+    the exact solver; when the graph happens to be bipartite the
+    bipartite machinery applies (the paper's closing remark in
+    Section 1). *)
+
+open Graphs
+
+type t
+
+val make :
+  entities:(string * string list) list ->
+  relationships:(string * string list * string list) list ->
+  t
+(** [entities]: name and attribute names. [relationships]: name,
+    participating entity names, attribute names. Raises
+    [Invalid_argument] on duplicate object names or references to
+    unknown entities. *)
+
+val objects : t -> string list
+(** All object names: attributes, entities, relationships. *)
+
+val entities : t -> string list
+
+val relationships : t -> string list
+
+val attributes : t -> string list
+
+val to_ugraph : t -> Ugraph.t
+(** Object graph; index [i] is [List.nth (objects t) i]. *)
+
+val object_index : t -> string -> int option
+
+val object_name : t -> int -> string
+
+val is_bipartite : t -> bool
+
+val minimal_connection :
+  t -> objects:string list -> (string list * (string * string) list) option
+(** Exact Steiner over the named objects: [(tree node names, tree
+    edges)], or [None] if unknown/disconnected. *)
+
+val interpretations : ?k:int -> t -> objects:string list -> string list list
+(** Ranked alternative connections (node-name sets), smallest first —
+    the disambiguation dialogue of the paper's introduction. *)
+
+val to_schema : t -> Schema.t
+(** Standard ER-to-relational mapping: one relation per entity over a
+    surrogate key ["<entity>_key"] plus its attributes; one relation
+    per relationship over its participants' keys plus its own
+    attributes. Shared attribute names stay shared, so minimal
+    connections on the resulting scheme mirror the ER navigation. *)

@@ -1,0 +1,212 @@
+open Graphs
+open Bipartite
+open Steiner
+
+type labeled = {
+  graph : Bigraph.t;
+  left_names : string array;
+  right_names : string array;
+  title : string;
+}
+
+let name_of_index l v =
+  match Bigraph.node_of_index l.graph v with
+  | Bigraph.L i -> l.left_names.(i)
+  | Bigraph.R j -> l.right_names.(j)
+
+let index_of_name l name =
+  let find arr =
+    let rec go i =
+      if i >= Array.length arr then None
+      else if arr.(i) = name then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match find l.left_names with
+  | Some i -> Some (Bigraph.index l.graph (Bigraph.L i))
+  | None -> (
+    match find l.right_names with
+    | Some j -> Some (Bigraph.index l.graph (Bigraph.R j))
+    | None -> None)
+
+let set_of_names l names =
+  List.fold_left
+    (fun acc n ->
+      match index_of_name l n with
+      | Some v -> Iset.add v acc
+      | None -> invalid_arg ("Figures.set_of_names: unknown name " ^ n))
+    Iset.empty names
+
+let mk ~title ~left ~right edges =
+  let left_names = Array.of_list left in
+  let right_names = Array.of_list right in
+  let pos arr x =
+    let rec go i =
+      if i >= Array.length arr then invalid_arg ("Figures: unknown " ^ x)
+      else if arr.(i) = x then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let graph =
+    Bigraph.of_edges ~nl:(Array.length left_names)
+      ~nr:(Array.length right_names)
+      (List.map (fun (a, b) -> (pos left_names a, pos right_names b)) edges)
+  in
+  { graph; left_names; right_names; title }
+
+(* Fig. 1: employees, departments; query {EMPLOYEE, DATE} has the
+   birthdate interpretation (no auxiliary object) and the hiring-date
+   interpretation through WORKS. *)
+let fig1_er =
+  Er.make
+    ~entities:
+      [
+        ("EMPLOYEE", [ "NAME"; "CODE"; "DATE" ]);
+        ("DEPARTMENT", [ "DNAME"; "FLOOR" ]);
+      ]
+    ~relationships:[ ("WORKS", [ "EMPLOYEE"; "DEPARTMENT" ], [ "DATE" ]) ]
+
+let fig1_query = [ "EMPLOYEE"; "DATE" ]
+
+(* Fig. 2: H1 = {AB, BC, AC, ABC} is the classic alpha-acyclic
+   hypergraph whose dual is alpha-cyclic. *)
+let fig2 =
+  mk ~title:"Fig. 2: alpha-acyclic H1, alpha-cyclic dual"
+    ~left:[ "A"; "B"; "C" ]
+    ~right:[ "1"; "2"; "3"; "4" ]
+    [
+      ("A", "1"); ("B", "1");
+      ("B", "2"); ("C", "2");
+      ("A", "3"); ("C", "3");
+      ("A", "4"); ("B", "4"); ("C", "4");
+    ]
+
+let fig3a =
+  mk ~title:"Fig. 3a: (4,1)-chordal (forest) / Berge-acyclic H1"
+    ~left:[ "A"; "B"; "C"; "D" ]
+    ~right:[ "1"; "2"; "3" ]
+    [ ("A", "1"); ("B", "1"); ("B", "2"); ("C", "2"); ("C", "3"); ("D", "3") ]
+
+(* 6-cycle A-1-B-2-C-3 with the two chords A-2 and B-3. *)
+let fig3b =
+  mk ~title:"Fig. 3b: (6,2)-chordal / gamma-acyclic H1"
+    ~left:[ "A"; "B"; "C" ]
+    ~right:[ "1"; "2"; "3" ]
+    [
+      ("A", "1"); ("B", "1");
+      ("B", "2"); ("C", "2"); ("A", "2");
+      ("C", "3"); ("A", "3"); ("B", "3");
+    ]
+
+(* 6-cycle B-1-C-3-E-2 with single chord C-2, plus pendants A (on 1)
+   and D (on 3). Carries Section 3's pseudo-vs-full Steiner remark. *)
+let fig3c =
+  mk ~title:"Fig. 3c: (6,1)- but not (6,2)-chordal / beta-acyclic H1"
+    ~left:[ "A"; "B"; "C"; "D"; "E" ]
+    ~right:[ "1"; "2"; "3" ]
+    [
+      ("A", "1"); ("B", "1"); ("C", "1");
+      ("B", "2"); ("E", "2"); ("C", "2");
+      ("C", "3"); ("E", "3"); ("D", "3");
+    ]
+
+let fig3c_p = set_of_names fig3c [ "A"; "B"; "E" ]
+let fig3c_pseudo_nodes = set_of_names fig3c [ "A"; "B"; "C"; "E"; "1"; "3" ]
+
+(* H1 = {ABX, BCX, ACX, ABCX}: alpha-acyclic with alpha-acyclic dual,
+   but the triangle {AB.., BC.., AC..} is a beta-cycle. *)
+let fig5 =
+  mk ~title:"Fig. 5: chordal+conformal on both sides, not (6,1)-chordal"
+    ~left:[ "A"; "B"; "C"; "X" ]
+    ~right:[ "1"; "2"; "3"; "4" ]
+    [
+      ("A", "1"); ("B", "1"); ("X", "1");
+      ("B", "2"); ("C", "2"); ("X", "2");
+      ("A", "3"); ("C", "3"); ("X", "3");
+      ("A", "4"); ("B", "4"); ("C", "4"); ("X", "4");
+    ]
+
+let fig6_x3c =
+  X3c.make ~q:2 [ (0, 1, 2); (2, 3, 4); (3, 4, 5) ]
+
+let fig8 =
+  mk ~title:"Fig. 8: cover taxonomy over P = {A, C, D}"
+    ~left:[ "A"; "B"; "C"; "D"; "E" ]
+    ~right:[ "1"; "2"; "3"; "4"; "5" ]
+    [
+      ("A", "1"); ("B", "1");
+      ("B", "3"); ("C", "3"); ("D", "3");
+      ("A", "2"); ("C", "2");
+      ("D", "5"); ("E", "5");
+      ("E", "4"); ("A", "4");
+    ]
+
+let fig8_p = set_of_names fig8 [ "A"; "C"; "D" ]
+let fig8_nonredundant = set_of_names fig8 [ "A"; "B"; "C"; "D"; "1"; "3" ]
+let fig8_minimum = set_of_names fig8 [ "A"; "C"; "D"; "2"; "3" ]
+let fig8_v1_nonredundant = set_of_names fig8 [ "A"; "C"; "D"; "E"; "2"; "4"; "5" ]
+let fig8_v1_minimum = set_of_names fig8 [ "A"; "C"; "D"; "2"; "3" ]
+
+(* A small chordal graph: two triangles sharing an edge, plus a
+   pendant. *)
+let fig9_chordal_input =
+  Ugraph.of_edges ~n:5
+    [ (0, 1); (1, 2); (0, 2); (1, 3); (2, 3); (3, 4) ]
+
+(* 6-cycle A-1-B-2-C-3 with single chord A-2. *)
+let fig10 =
+  mk ~title:"Fig. 10: nonredundant path that is not minimum"
+    ~left:[ "A"; "B"; "C" ]
+    ~right:[ "1"; "2"; "3" ]
+    [
+      ("A", "1"); ("B", "1");
+      ("B", "2"); ("C", "2"); ("A", "2");
+      ("C", "3"); ("A", "3");
+    ]
+
+(* Theorem 6's graph: hubs 1, 2 joined to A and B; A carries satellites
+   3 (with leaf C) and 4 (leaf D); B carries 5 (leaf E) and 6 (leaf F);
+   the leaves also reach back to the hubs (C, E to 1; D, F to 2), which
+   creates the longer detours each proof case relies on. *)
+let fig11 =
+  mk ~title:"Fig. 11: (6,1)-chordal graph with no good ordering"
+    ~left:[ "A"; "B"; "C"; "D"; "E"; "F" ]
+    ~right:[ "1"; "2"; "3"; "4"; "5"; "6" ]
+    [
+      ("A", "1"); ("A", "2"); ("A", "3"); ("A", "4");
+      ("B", "1"); ("B", "2"); ("B", "5"); ("B", "6");
+      ("C", "1"); ("C", "3");
+      ("D", "2"); ("D", "4");
+      ("E", "1"); ("E", "5");
+      ("F", "2"); ("F", "6");
+    ]
+
+let fig11_bad_terminals ~first =
+  let s names = Some (set_of_names fig11 names) in
+  match first with
+  | "A" -> s [ "3"; "C"; "4"; "D" ]
+  | "B" -> s [ "5"; "E"; "6"; "F" ]
+  | "1" -> s [ "3"; "C"; "5"; "E" ]
+  | "2" -> s [ "4"; "D"; "6"; "F" ]
+  | _ -> None
+
+let fig11_optimum p =
+  match
+    Dreyfus_wagner.optimum_nodes (Bigraph.ugraph fig11.graph) ~terminals:p
+  with
+  | Some n -> n
+  | None -> invalid_arg "Figures.fig11_optimum: disconnected terminals"
+
+let all_labeled =
+  [
+    ("F2", fig2);
+    ("F3a", fig3a);
+    ("F3b", fig3b);
+    ("F3c", fig3c);
+    ("F5", fig5);
+    ("F8", fig8);
+    ("F10", fig10);
+    ("F11", fig11);
+  ]

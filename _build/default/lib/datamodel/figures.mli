@@ -1,0 +1,102 @@
+(** Every figure of the paper as an executable instance.
+
+    The source scan does not preserve the exact drawings, so each
+    instance is {e reconstructed} to satisfy precisely the properties
+    the text asserts about it (the test suite checks each assertion
+    with the definitional oracles, and [bench/main.exe figures] prints
+    the full validation table). Where the running text pins down the
+    structure (Figs. 6, 11) the reconstruction follows it exactly. *)
+
+open Graphs
+open Bipartite
+open Steiner
+
+type labeled = {
+  graph : Bigraph.t;
+  left_names : string array;
+  right_names : string array;
+  title : string;
+}
+
+val name_of_index : labeled -> int -> string
+
+val index_of_name : labeled -> string -> int option
+
+val set_of_names : labeled -> string list -> Iset.t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val fig1_er : Er.t
+(** The employees/departments ER scheme whose query {EMPLOYEE, DATE}
+    has two interpretations: the direct birthdate edge (minimal) and
+    the hiring date through WORKS. *)
+
+val fig1_query : string list
+
+val fig2 : labeled
+(** Bipartite graph whose H¹ is α-acyclic while its dual H² is not:
+    Corollary 1's duality failure for α. *)
+
+val fig3a : labeled
+(** (4,1)-chordal (a forest); H¹ Berge-acyclic (Fig. 4a). *)
+
+val fig3b : labeled
+(** (6,2)- but not (4,1)-chordal; H¹ γ- but not Berge-acyclic
+    (Fig. 4b). *)
+
+val fig3c : labeled
+(** (6,1)- but not (6,2)-chordal; H¹ β- but not γ-acyclic (Fig. 4c).
+    Also Section 3's counterexample: over P = {A, B, E} the node set
+    {A, B, C, E, 1, 3} is a pseudo-Steiner tree w.r.t. V₂ that is not a
+    Steiner tree. *)
+
+val fig3c_p : Iset.t
+(** The terminal set {A, B, E} of that remark. *)
+
+val fig3c_pseudo_nodes : Iset.t
+(** {A, B, C, E, 1, 3}. *)
+
+val fig5 : labeled
+(** Chordal + conformal on both sides (both H¹ and H² α-acyclic) yet
+    not (6,1)-chordal: the strictness in Corollary 2. *)
+
+val fig6_x3c : X3c.instance
+(** X = {x1..x6}, C = {{x1,x2,x3}, {x3,x4,x5}, {x4,x5,x6}} — solvable
+    by {c1, c3}. *)
+
+val fig8 : labeled
+
+val fig8_p : Iset.t
+(** P = {A, C, D}. *)
+
+val fig8_nonredundant : Iset.t
+(** A nonredundant, non-minimum cover of P. *)
+
+val fig8_minimum : Iset.t
+(** A minimum cover of P. *)
+
+val fig8_v1_nonredundant : Iset.t
+(** A V₁-nonredundant cover that is not V₁-minimum. *)
+
+val fig8_v1_minimum : Iset.t
+(** A V₁-minimum cover. *)
+
+val fig9_chordal_input : Ugraph.t
+(** Small chordal graph fed to the Fig. 9 reduction in the demo. *)
+
+val fig10 : labeled
+(** (6,1)-chordal graph (6-cycle + one chord) exhibiting a nonredundant
+    path that is not minimum — Lemma 4's boundary. *)
+
+val fig11 : labeled
+(** Theorem 6's graph: (6,1)-chordal with {e no} good ordering. *)
+
+val fig11_bad_terminals : first:string -> Iset.t option
+(** The proof's case split: given which of A, B, 1, 2 comes first in an
+    ordering, the terminal set on which that ordering fails.
+    [None] for other names. *)
+
+val fig11_optimum : Iset.t -> int
+(** Exact Steiner optimum (node count) on fig11 for a terminal set. *)
+
+val all_labeled : (string * labeled) list
+(** [(figure id, instance)] for iteration by tests and benches. *)

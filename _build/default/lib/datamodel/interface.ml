@@ -1,0 +1,57 @@
+type answer = { connection : Query.connection; result : Relalg.Relation.t }
+
+let evaluate_connection ?(where = []) db (c : Query.connection) ~output =
+  let chosen =
+    List.filter
+      (fun (n, _) -> List.mem n c.Query.relations_used)
+      (Relalg.Database.relations db)
+  in
+  let chosen =
+    (* Push equality selections down into every chosen relation that
+       carries the attribute. *)
+    List.map
+      (fun (n, r) ->
+        ( n,
+          List.fold_left
+            (fun r (attr, value) ->
+              if Relalg.Relation.mem_attr r attr then
+                Relalg.Ops.select_eq r ~attr ~value
+              else r)
+            r where ))
+      chosen
+  in
+  let chosen =
+    (* A single-attribute query can yield a one-node tree with no
+       relation: fall back to any relation holding the attributes. *)
+    if chosen <> [] then chosen
+    else
+      match
+        List.find_opt
+          (fun (_, r) -> List.for_all (Relalg.Relation.mem_attr r) output)
+          (Relalg.Database.relations db)
+      with
+      | Some r -> [ r ]
+      | None -> []
+  in
+  let sub = Relalg.Database.make chosen in
+  (* Only output attributes actually present in the chosen relations
+     can be projected; the connection guarantees they all are. *)
+  Relalg.Yannakakis.evaluate sub ~output
+
+let answer ?strategy ?(where = []) db ~query =
+  let schema = Schema.of_database db in
+  let objects =
+    List.sort_uniq compare (query @ List.map fst where)
+  in
+  match Query.minimal_connection ?strategy schema ~objects with
+  | Error e -> Error e
+  | Ok c ->
+    let output = List.filter (Schema.is_attribute schema) query in
+    Ok { connection = c; result = evaluate_connection ~where db c ~output }
+
+let interpretations ?k db ~query =
+  let schema = Schema.of_database db in
+  let output = List.filter (Schema.is_attribute schema) query in
+  Query.interpretations ?k schema ~objects:query
+  |> List.map (fun c ->
+         { connection = c; result = evaluate_connection db c ~output })

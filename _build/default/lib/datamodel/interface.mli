@@ -1,0 +1,28 @@
+(** The universal-relation interface end to end: a query is a set of
+    attribute names; the system finds the minimal conceptual connection
+    on the scheme, picks the corresponding relations, and evaluates the
+    project-join over them (Yannakakis when acyclic) — no relation name
+    ever appears in the query. This is the logical-independence scenario
+    from the paper's introduction realised on actual data. *)
+
+type answer = {
+  connection : Query.connection;
+  result : Relalg.Relation.t;
+}
+
+val answer :
+  ?strategy:Query.strategy ->
+  ?where:(string * string) list ->
+  Relalg.Database.t ->
+  query:string list ->
+  (answer, Query.error) result
+(** The query lists attribute (or relation) names; output columns are
+    the attribute names among them. [where] adds equality selections
+    [(attribute, value)]: the selected attributes join the connection
+    (they must be reachable) and the selections are pushed down into
+    the chosen relations before evaluation. *)
+
+val interpretations :
+  ?k:int -> Relalg.Database.t -> query:string list -> answer list
+(** One evaluated answer per candidate interpretation, minimal
+    first. *)

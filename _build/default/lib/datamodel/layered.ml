@@ -1,0 +1,156 @@
+open Graphs
+open Bipartite
+open Steiner
+
+type t = {
+  level_names : string list list;  (* level 0 first *)
+  defs : (string * string list) list;
+  left : string array;  (* even levels, in level order *)
+  right : string array;  (* odd levels *)
+}
+
+let make ~levels ~definitions =
+  let all = List.concat levels in
+  if List.length (List.sort_uniq compare all) <> List.length all then
+    invalid_arg "Layered.make: duplicate object name";
+  let level_of_name = Hashtbl.create 16 in
+  List.iteri
+    (fun l names -> List.iter (fun n -> Hashtbl.replace level_of_name n l) names)
+    levels;
+  (* Every object above level 0 needs a definition in terms of the
+     level immediately below. *)
+  List.iteri
+    (fun l names ->
+      if l > 0 then
+        List.iter
+          (fun n ->
+            match List.assoc_opt n definitions with
+            | None | Some [] ->
+              invalid_arg ("Layered.make: object without definition: " ^ n)
+            | Some parts ->
+              List.iter
+                (fun p ->
+                  match Hashtbl.find_opt level_of_name p with
+                  | Some lp when lp = l - 1 -> ()
+                  | Some _ ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Layered.make: %s (level %d) references %s outside \
+                          level %d"
+                         n l p (l - 1))
+                  | None ->
+                    invalid_arg ("Layered.make: unknown object " ^ p))
+                parts)
+          names)
+    levels;
+  List.iter
+    (fun (n, _) ->
+      match Hashtbl.find_opt level_of_name n with
+      | Some l when l > 0 -> ()
+      | Some _ -> invalid_arg ("Layered.make: level-0 object has a definition: " ^ n)
+      | None -> invalid_arg ("Layered.make: definition for unknown object " ^ n))
+    definitions;
+  let left =
+    List.concat (List.filteri (fun l _ -> l mod 2 = 0) levels)
+  in
+  let right =
+    List.concat (List.filteri (fun l _ -> l mod 2 = 1) levels)
+  in
+  {
+    level_names = levels;
+    defs = definitions;
+    left = Array.of_list left;
+    right = Array.of_list right;
+  }
+
+let n_levels t = List.length t.level_names
+let objects t = List.concat t.level_names
+
+let level_of t name =
+  let rec go l = function
+    | [] -> None
+    | names :: rest -> if List.mem name names then Some l else go (l + 1) rest
+  in
+  go 0 t.level_names
+
+let position arr name =
+  let rec go i =
+    if i >= Array.length arr then None
+    else if arr.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let to_bigraph t =
+  let edges =
+    List.concat_map
+      (fun (n, parts) ->
+        List.map
+          (fun p ->
+            (* One endpoint is on an even level, the other on the
+               adjacent odd level. *)
+            match (position t.left n, position t.right n) with
+            | Some i, _ -> (
+              match position t.right p with
+              | Some j -> (i, j)
+              | None -> assert false)
+            | None, Some j -> (
+              match position t.left p with
+              | Some i -> (i, j)
+              | None -> assert false)
+            | None, None -> assert false)
+          parts)
+      t.defs
+  in
+  Bigraph.of_edges ~nl:(Array.length t.left) ~nr:(Array.length t.right) edges
+
+let object_index t name =
+  match position t.left name with
+  | Some i -> Some i
+  | None -> (
+    match position t.right name with
+    | Some j -> Some (Array.length t.left + j)
+    | None -> None)
+
+let object_name t v =
+  let nl = Array.length t.left in
+  if v >= 0 && v < nl then t.left.(v)
+  else if v >= nl && v < nl + Array.length t.right then t.right.(v - nl)
+  else invalid_arg "Layered.object_name: out of range"
+
+let profile t = Classify.profile (to_bigraph t)
+
+let resolve t names =
+  let rec go acc = function
+    | [] -> Some acc
+    | n :: rest -> (
+      match object_index t n with
+      | Some v -> go (Iset.add v acc) rest
+      | None -> None)
+  in
+  go Iset.empty names
+
+let minimal_connection t ~objects =
+  match resolve t objects with
+  | None -> None
+  | Some p ->
+    if Iset.cardinal p > Dreyfus_wagner.max_terminals then None
+    else
+      let g = Bigraph.ugraph (to_bigraph t) in
+      (match Dreyfus_wagner.solve g ~terminals:p with
+      | None -> None
+      | Some tree ->
+        Some
+          ( List.map (object_name t) (Iset.elements tree.Tree.nodes),
+            List.map
+              (fun (u, v) -> (object_name t u, object_name t v))
+              tree.Tree.edges ))
+
+let interpretations ?(k = 3) t ~objects =
+  match resolve t objects with
+  | None -> []
+  | Some p ->
+    let g = Bigraph.ugraph (to_bigraph t) in
+    Kbest.enumerate ~max_trees:k g ~terminals:p
+    |> List.map (fun tree ->
+           List.map (object_name t) (Iset.elements tree.Tree.nodes))

@@ -1,0 +1,191 @@
+open Graphs
+open Bipartite
+open Steiner
+
+type connection = {
+  objects : string list;
+  auxiliary : string list;
+  relations_used : string list;
+  attributes_used : string list;
+  tree_edges : (string * string) list;
+  optimal : bool;
+}
+
+type error =
+  | Unknown_object of string
+  | Disconnected
+  | Not_applicable of string
+
+type strategy = Auto | Exact | Algorithm2_only | Elimination_heuristic
+
+let terminals_of_objects schema objects =
+  let rec go acc = function
+    | [] -> Ok acc
+    | name :: rest -> (
+      match Schema.object_index schema name with
+      | Some v -> go (Iset.add v acc) rest
+      | None -> Error (Unknown_object name))
+  in
+  go Iset.empty objects
+
+let connection_of_tree schema ~query tree ~optimal =
+  let g = Schema.to_bigraph schema in
+  let name v = Schema.object_name schema v in
+  let nodes = tree.Tree.nodes in
+  let objects = List.map name (Iset.elements nodes) in
+  let auxiliary =
+    List.map name (Iset.elements (Iset.diff nodes query))
+  in
+  let relations_used =
+    List.map name (Iset.elements (Iset.inter nodes (Bigraph.right_nodes g)))
+  in
+  let attributes_used =
+    List.map name (Iset.elements (Iset.inter nodes (Bigraph.left_nodes g)))
+  in
+  let tree_edges = List.map (fun (u, v) -> (name u, name v)) tree.Tree.edges in
+  { objects; auxiliary; relations_used; attributes_used; tree_edges; optimal }
+
+let solve_exact g ~p =
+  let u = Bigraph.ugraph g in
+  if Iset.cardinal p <= Dreyfus_wagner.max_terminals then
+    Dreyfus_wagner.solve u ~terminals:p
+  else None
+
+let minimal_connection ?(strategy = Auto) schema ~objects =
+  match terminals_of_objects schema objects with
+  | Error e -> Error e
+  | Ok p -> (
+    let g = Schema.to_bigraph schema in
+    let u = Bigraph.ugraph g in
+    if not (Graphs.Traverse.connects u p) then Error Disconnected
+    else
+      let via_alg2 () =
+        if Mn_chordality.is_62_chordal g then
+          match Algorithm2.solve u ~p with
+          | Some tree -> Some (connection_of_tree schema ~query:p tree ~optimal:true)
+          | None -> None
+        else None
+      in
+      let via_exact () =
+        match solve_exact g ~p with
+        | Some tree -> Some (connection_of_tree schema ~query:p tree ~optimal:true)
+        | None -> None
+      in
+      let via_elimination () =
+        match Algorithm2.solve u ~p with
+        | Some tree ->
+          Some (connection_of_tree schema ~query:p tree ~optimal:false)
+        | None -> None
+      in
+      let attempt = function
+        | Some c -> Ok c
+        | None -> Error Disconnected
+      in
+      match strategy with
+      | Algorithm2_only ->
+        if Mn_chordality.is_62_chordal g then attempt (via_alg2 ())
+        else Error (Not_applicable "scheme is not (6,2)-chordal")
+      | Exact -> (
+        match via_exact () with
+        | Some c -> Ok c
+        | None -> Error (Not_applicable "too many query objects for exact search"))
+      | Elimination_heuristic -> attempt (via_elimination ())
+      | Auto -> (
+        match via_alg2 () with
+        | Some c -> Ok c
+        | None -> (
+          match via_exact () with
+          | Some c -> Ok c
+          | None -> attempt (via_elimination ()))))
+
+let min_relations schema ~objects =
+  match terminals_of_objects schema objects with
+  | Error e -> Error e
+  | Ok p -> (
+    let g = Schema.to_bigraph schema in
+    match Algorithm1.solve g ~p with
+    | Ok r ->
+      Ok (connection_of_tree schema ~query:p r.Algorithm1.tree ~optimal:true,
+          r.Algorithm1.v2_count)
+    | Error Algorithm1.Disconnected_terminals -> Error Disconnected
+    | Error Algorithm1.Not_alpha_acyclic ->
+      Error (Not_applicable "scheme hypergraph is not alpha-acyclic"))
+
+let weighted_connection schema ~objects ~cost =
+  match terminals_of_objects schema objects with
+  | Error e -> Error e
+  | Ok p ->
+    let g = Schema.to_bigraph schema in
+    let u = Bigraph.ugraph g in
+    if Iset.cardinal p > Dreyfus_wagner.max_terminals then
+      Error (Not_applicable "too many query objects for exact search")
+    else (
+      match
+        Weighted.solve u
+          ~weight:(fun v -> cost (Schema.object_name schema v))
+          ~terminals:p
+      with
+      | None -> Error Disconnected
+      | Some (tree, total) ->
+        Ok (connection_of_tree schema ~query:p tree ~optimal:true, total))
+
+let is_unambiguous schema ~objects =
+  match terminals_of_objects schema objects with
+  | Error e -> Error e
+  | Ok p ->
+    let g = Schema.to_bigraph schema in
+    let u = Bigraph.ugraph g in
+    if not (Graphs.Traverse.connects u p) then Error Disconnected
+    else if Iset.cardinal p > Dreyfus_wagner.max_terminals then
+      Error (Not_applicable "too many query objects for exact search")
+    else begin
+      let trees = Kbest.enumerate ~max_trees:8 ~max_extra:0 u ~terminals:p in
+      let node_sets =
+        List.fold_left
+          (fun acc t ->
+            if List.exists (fun s -> Iset.equal s t.Tree.nodes) acc then acc
+            else t.Tree.nodes :: acc)
+          [] trees
+      in
+      Ok (List.length node_sets <= 1)
+    end
+
+(* Alternative interpretations: force one extra object into the
+   connection and re-solve exactly; keep only trees whose every leaf is
+   a query object (a forced object left dangling as a leaf is not a
+   different navigation, just a decorated copy of another answer). *)
+let interpretations ?(k = 3) schema ~objects =
+  match terminals_of_objects schema objects with
+  | Error _ -> []
+  | Ok p ->
+    if Iset.cardinal p + 1 > Dreyfus_wagner.max_terminals then
+      match minimal_connection schema ~objects with
+      | Ok c -> [ c ]
+      | Error _ -> []
+    else begin
+      let g = Schema.to_bigraph schema in
+      let u = Bigraph.ugraph g in
+      let dedupe_by_nodes trees =
+        List.fold_left
+          (fun acc tr ->
+            if List.exists (fun t' -> Iset.equal t'.Tree.nodes tr.Tree.nodes) acc
+            then acc
+            else tr :: acc)
+          [] trees
+        |> List.rev
+      in
+      let candidates =
+        Kbest.enumerate ~max_trees:(4 * k) u ~terminals:p |> dedupe_by_nodes
+      in
+      List.filteri (fun i _ -> i < k) candidates
+      |> List.mapi (fun i tree ->
+             connection_of_tree schema ~query:p tree ~optimal:(i = 0))
+    end
+
+let pp_connection ppf c =
+  Format.fprintf ppf "@[<v>connection over {%s}@,auxiliary: {%s}@,edges:"
+    (String.concat ", " c.objects)
+    (String.concat ", " c.auxiliary);
+  List.iter (fun (a, b) -> Format.fprintf ppf "@,  %s -- %s" a b) c.tree_edges;
+  Format.fprintf ppf "@,%s@]"
+    (if c.optimal then "(provably minimal)" else "(heuristic)")

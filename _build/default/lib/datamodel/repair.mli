@@ -1,0 +1,26 @@
+(** Design-time repair suggestions: how far is a schema from the
+    acyclicity degree that would buy the query-complexity guarantees of
+    Section 3? (In the spirit of the design methodology of the paper's
+    reference [4], D'Atri–Moscarini.)
+
+    All searches are brute force over relation subsets in ascending
+    cardinality — design-time tooling over human-sized schemas. *)
+
+type degree_goal = To_alpha | To_beta | To_gamma | To_berge
+
+val satisfies : Schema.t -> degree_goal -> bool
+
+val min_deletions : ?max_k:int -> Schema.t -> degree_goal -> string list option
+(** Fewest relations to drop so that the remaining schema reaches the
+    goal; [None] if no subset of at most [max_k] (default: all)
+    deletions suffices or the schema would become empty. The returned
+    list is one optimal witness. *)
+
+val merge_suggestions : Schema.t -> degree_goal -> (string * string) list
+(** Pairs of relations whose (single) merge — replacing both by one
+    relation over the union of their attributes — already reaches the
+    goal. Empty when no single merge suffices. *)
+
+val report : Schema.t -> string
+(** Human-readable summary: current degree, and the cheapest route to
+    each strictly better degree. *)

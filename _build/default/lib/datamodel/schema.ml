@@ -1,0 +1,108 @@
+open Graphs
+open Hypergraphs
+open Bipartite
+
+type t = {
+  relations : (string * string list) list;
+  attr_list : string list;  (* sorted *)
+}
+
+let make relations =
+  let names = List.map fst relations in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate relation name";
+  List.iter
+    (fun (n, attrs) ->
+      if attrs = [] then invalid_arg ("Schema.make: empty relation " ^ n))
+    relations;
+  let attr_list =
+    List.sort_uniq compare (List.concat_map snd relations)
+  in
+  List.iter
+    (fun n ->
+      if List.mem n attr_list then
+        invalid_arg ("Schema.make: name used as both relation and attribute: " ^ n))
+    names;
+  { relations; attr_list }
+
+let of_database db =
+  make
+    (List.map
+       (fun (n, r) -> (n, Relalg.Relation.attrs r))
+       (Relalg.Database.relations db))
+
+let relation_names t = List.map fst t.relations
+let attributes t = t.attr_list
+let relation_attrs t name = List.assoc name t.relations
+
+let attr_index t a =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when x = a -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.attr_list
+
+let relation_index t n =
+  let rec go i = function
+    | [] -> None
+    | (x, _) :: _ when x = n -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.relations
+
+let to_bigraph t =
+  let nl = List.length t.attr_list in
+  let nr = List.length t.relations in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun j (_, attrs) ->
+           List.map
+             (fun a ->
+               match attr_index t a with
+               | Some i -> (i, j)
+               | None -> assert false)
+             attrs)
+         t.relations)
+  in
+  Bigraph.of_edges ~nl ~nr edges
+
+let to_hypergraph t =
+  let index a =
+    match attr_index t a with Some i -> i | None -> assert false
+  in
+  Hypergraph.create
+    ~n_nodes:(List.length t.attr_list)
+    (List.map
+       (fun (_, attrs) -> Iset.of_list (List.map index attrs))
+       t.relations)
+
+let object_index t name =
+  match attr_index t name with
+  | Some i -> Some i
+  | None -> (
+    match relation_index t name with
+    | Some j -> Some (List.length t.attr_list + j)
+    | None -> None)
+
+let object_name t v =
+  let nl = List.length t.attr_list in
+  if v >= 0 && v < nl then List.nth t.attr_list v
+  else if v >= nl && v < nl + List.length t.relations then
+    fst (List.nth t.relations (v - nl))
+  else invalid_arg "Schema.object_name: out of range"
+
+let is_attribute t name = attr_index t name <> None
+
+let profile t = Classify.profile (to_bigraph t)
+
+let acyclicity t = Acyclicity.degree (to_hypergraph t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (n, attrs) ->
+      Format.fprintf ppf "%s(%s)@," n (String.concat ", " attrs))
+    t.relations;
+  Format.fprintf ppf "@]"

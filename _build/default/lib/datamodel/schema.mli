@@ -1,0 +1,45 @@
+(** Relational database schemes as named objects over a bipartite graph:
+    left nodes are attributes, right nodes are relation schemes — the
+    representation Section 3 uses for logical-independence queries. *)
+
+open Hypergraphs
+open Bipartite
+
+type t
+
+val make : (string * string list) list -> t
+(** [(relation name, attributes)] pairs. Raises [Invalid_argument] on
+    duplicate relation names, empty relations, or a name collision
+    between a relation and an attribute. *)
+
+val of_database : Relalg.Database.t -> t
+
+val relation_names : t -> string list
+
+val attributes : t -> string list
+(** Sorted. *)
+
+val relation_attrs : t -> string -> string list
+(** Raises [Not_found]. *)
+
+val to_bigraph : t -> Bigraph.t
+(** Left node [i] = i-th attribute of {!attributes}; right node [j] =
+    j-th relation of {!relation_names}. *)
+
+val to_hypergraph : t -> Hypergraph.t
+
+val object_index : t -> string -> int option
+(** Underlying graph index of an attribute or relation name. *)
+
+val object_name : t -> int -> string
+(** Inverse of {!object_index}; raises [Invalid_argument] when out of
+    range. *)
+
+val is_attribute : t -> string -> bool
+
+val profile : t -> Classify.profile
+
+val acyclicity : t -> Acyclicity.degree
+(** Degree of the scheme hypergraph. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/graphs/chordal.ml: Cycles Hashtbl Iset Lexbfs List Ugraph

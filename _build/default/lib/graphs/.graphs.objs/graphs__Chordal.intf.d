@@ -1,0 +1,1 @@
+lib/graphs/chordal.mli: Iset Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/cliques.ml: Iset List Ugraph

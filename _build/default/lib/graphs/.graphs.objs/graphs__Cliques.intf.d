@@ -1,0 +1,1 @@
+lib/graphs/cliques.mli: Iset Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/cycles.ml: Array Iset List Traverse Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/cycles.mli: Iset Ugraph

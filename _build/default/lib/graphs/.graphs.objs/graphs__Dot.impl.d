@@ -1,0 +1,1 @@
+lib/graphs/dot.ml: Buffer Iset List Printf String Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/iset.ml: Array Format Int Set

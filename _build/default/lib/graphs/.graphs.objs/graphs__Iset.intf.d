@@ -1,0 +1,1 @@
+lib/graphs/iset.mli: Format Set

@@ -1,0 +1,1 @@
+lib/graphs/lexbfs.ml: Array Hashtbl Iset List Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/lexbfs.mli: Iset Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/spanning.ml: Array Hashtbl Iset List Queue Traverse Ugraph

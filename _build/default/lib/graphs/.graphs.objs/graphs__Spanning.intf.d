@@ -1,0 +1,1 @@
+lib/graphs/spanning.mli: Iset Ugraph

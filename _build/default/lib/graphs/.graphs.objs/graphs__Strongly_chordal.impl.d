@@ -1,0 +1,1 @@
+lib/graphs/strongly_chordal.ml: Array Chordal Cycles Iset List Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/strongly_chordal.mli: Iset Ugraph

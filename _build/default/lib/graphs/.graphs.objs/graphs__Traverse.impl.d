@@ -1,0 +1,1 @@
+lib/graphs/traverse.ml: Array Iset List Queue Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/traverse.mli: Iset Ugraph

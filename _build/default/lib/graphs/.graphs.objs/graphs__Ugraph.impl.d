@@ -1,0 +1,1 @@
+lib/graphs/ugraph.ml: Array Format Hashtbl Iset List

@@ -1,0 +1,12 @@
+(** Maximal clique enumeration (Bron–Kerbosch with pivoting).
+
+    Used as the brute-force side of conformality checks: a hypergraph is
+    conformal exactly when every maximal clique of its 2-section is
+    contained in a hyperedge. Worst-case exponential, as it must be. *)
+
+val iter_maximal_cliques : ?within:Iset.t -> Ugraph.t -> (Iset.t -> unit) -> unit
+
+val maximal_cliques : ?within:Iset.t -> Ugraph.t -> Iset.t list
+
+val max_clique_size : ?within:Iset.t -> Ugraph.t -> int
+(** 0 on the empty (sub)graph. *)

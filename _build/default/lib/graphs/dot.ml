@@ -1,0 +1,39 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let of_ugraph ?(name = "G") ?(labels = string_of_int) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  Iset.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape (labels v))))
+    (Ugraph.nodes g);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v))
+    (Ugraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_bipartite_like ?(name = "G") ~left_labels ~right_labels ~nl ~nr edges =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n  rankdir=LR;\n" (escape name));
+  Buffer.add_string buf "  subgraph cluster_left { label=\"V1\";\n";
+  for i = 0 to nl - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "    l%d [label=\"%s\" shape=box];\n" i
+         (escape (left_labels i)))
+  done;
+  Buffer.add_string buf "  }\n  subgraph cluster_right { label=\"V2\";\n";
+  for j = 0 to nr - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "    r%d [label=\"%s\" shape=ellipse];\n" j
+         (escape (right_labels j)))
+  done;
+  Buffer.add_string buf "  }\n";
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  l%d -- r%d;\n" i j))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Graphviz DOT export, for inspecting instances and figures. *)
+
+val of_ugraph : ?name:string -> ?labels:(int -> string) -> Ugraph.t -> string
+
+val of_bipartite_like :
+  ?name:string ->
+  left_labels:(int -> string) ->
+  right_labels:(int -> string) ->
+  nl:int ->
+  nr:int ->
+  (int * int) list ->
+  string
+(** Renders a two-column layout; edges are (left index, right index). *)

@@ -1,0 +1,92 @@
+let default_within g = function
+  | Some w -> w
+  | None -> Ugraph.nodes g
+
+(* Generic greedy search: repeatedly pick an unvisited node with the
+   best label (ties broken by smallest id), then let each unvisited
+   neighbor absorb the visit timestamp into its label. LexBFS compares
+   timestamp lists lexicographically; MCS compares their lengths. *)
+let greedy_order ~better ?within ?start g =
+  let w = default_within g within in
+  let labels = Hashtbl.create 16 in
+  let label v =
+    match Hashtbl.find_opt labels v with Some l -> l | None -> []
+  in
+  let visited = Array.make (Ugraph.n g) false in
+  let order = ref [] in
+  let pick () =
+    Iset.fold
+      (fun v acc ->
+        if visited.(v) then acc
+        else
+          match acc with
+          | None -> Some v
+          | Some u -> if better (label v) (label u) then Some v else Some u)
+      w None
+  in
+  let visit time v =
+    visited.(v) <- true;
+    order := v :: !order;
+    Iset.iter
+      (fun u ->
+        if not visited.(u) then Hashtbl.replace labels u (label u @ [ time ]))
+      (Ugraph.adj_within g ~within:w v)
+  in
+  (match start with
+  | Some s when Iset.mem s w -> visit 0 s
+  | Some _ | None -> ());
+  let time = ref (List.length !order) in
+  let rec loop () =
+    match pick () with
+    | None -> ()
+    | Some v ->
+      visit !time v;
+      incr time;
+      loop ()
+  in
+  loop ();
+  List.rev !order
+
+(* Labels are increasing timestamp lists (earliest visited neighbor
+   first). The LexBFS rule treats earlier timestamps as lexicographically
+   greater symbols, and a proper extension of a label beats the label. *)
+let rec lex_gt a b =
+  match (a, b) with
+  | [], _ -> false
+  | _ :: _, [] -> true
+  | x :: a', y :: b' -> x < y || (x = y && lex_gt a' b')
+
+let lexbfs_order ?within ?start g =
+  greedy_order ~better:lex_gt ?within ?start g
+
+let mcs_order ?within ?start g =
+  let better a b = List.length a > List.length b in
+  greedy_order ~better ?within ?start g
+
+let lexbfs_partition_order ?within ?start g =
+  let w = match within with Some w -> w | None -> Ugraph.nodes g in
+  let initial =
+    match start with
+    | Some s when Iset.mem s w ->
+      [ [ s ]; Iset.elements (Iset.remove s w) ]
+    | Some _ | None -> [ Iset.elements w ]
+  in
+  let rec go classes order =
+    match classes with
+    | [] -> List.rev order
+    | [] :: rest -> go rest order
+    | (v :: vs) :: rest ->
+      let remaining = if vs = [] then rest else vs :: rest in
+      let nb = Ugraph.adj_within g ~within:w v in
+      let refined =
+        List.concat_map
+          (fun cls ->
+            let inside, outside =
+              List.partition (fun u -> Iset.mem u nb) cls
+            in
+            List.filter (fun l -> l <> []) [ inside; outside ])
+          remaining
+      in
+      go refined (v :: order)
+  in
+  go initial []

@@ -1,0 +1,22 @@
+(** Lexicographic breadth-first search and maximum cardinality search.
+
+    These are the two classical linear-time vertex orderings whose
+    reversal is a perfect elimination ordering exactly on chordal
+    graphs (Rose–Tarjan–Lueker; Tarjan–Yannakakis). The implementation
+    is the straightforward O(n^2) label version, ample for this
+    repository's instance sizes. *)
+
+val lexbfs_order : ?within:Iset.t -> ?start:int -> Ugraph.t -> int list
+(** Visit order (first visited first). Components are exhausted one at a
+    time; [start] selects the first node. *)
+
+val lexbfs_partition_order : ?within:Iset.t -> ?start:int -> Ugraph.t -> int list
+(** Independent second implementation by partition refinement (the
+    linear-time scheme): maintain an ordered partition of the unvisited
+    nodes; visit the head of the first class and split every class into
+    neighbors-then-others. Tie-breaking differs from {!lexbfs_order},
+    so the orders need not coincide, but both are valid LexBFS orders —
+    the chordality test accepts either (property-tested). *)
+
+val mcs_order : ?within:Iset.t -> ?start:int -> Ugraph.t -> int list
+(** Maximum cardinality search visit order. *)

@@ -1,0 +1,68 @@
+let closed_neighborhood g ~within v =
+  Iset.add v (Ugraph.adj_within g ~within v)
+
+let is_simple_vertex g ~within v =
+  let hood = closed_neighborhood g ~within v in
+  let closed = List.map (closed_neighborhood g ~within) (Iset.elements hood) in
+  let sorted =
+    List.sort (fun a b -> compare (Iset.cardinal a) (Iset.cardinal b)) closed
+  in
+  let rec chain = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Iset.subset a b && chain rest
+  in
+  chain sorted
+
+let simple_elimination_order g =
+  let rec go within order =
+    if Iset.is_empty within then Some (List.rev order)
+    else
+      match
+        List.find_opt (is_simple_vertex g ~within) (Iset.elements within)
+      with
+      | None -> None
+      | Some v -> go (Iset.remove v within) (v :: order)
+  in
+  go (Ugraph.nodes g) []
+
+let is_strongly_chordal g = simple_elimination_order g <> None
+
+let is_strongly_chordal_brute g =
+  Chordal.is_chordal_brute g
+  &&
+  let ok = ref true in
+  Cycles.iter_simple_cycles ~min_len:6 g (fun cyc ->
+      if !ok then begin
+        let arr = Array.of_list cyc in
+        let k = Array.length arr in
+        if k mod 2 = 0 then begin
+          let has_odd_chord = ref false in
+          for i = 0 to k - 1 do
+            for j = i + 1 to k - 1 do
+              let d = j - i in
+              let dist = min d (k - d) in
+              if
+                dist mod 2 = 1 && dist > 1
+                && Ugraph.mem_edge g arr.(i) arr.(j)
+              then has_odd_chord := true
+            done
+          done;
+          if not !has_odd_chord then ok := false
+        end
+      end);
+  !ok
+
+let sun k =
+  if k < 3 then invalid_arg "Strongly_chordal.sun: need k >= 3";
+  (* rim w_i = i, hub u_i = k + i *)
+  let b = Ugraph.Builder.create (2 * k) in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Ugraph.Builder.add_edge b (k + i) (k + j)
+    done
+  done;
+  for i = 0 to k - 1 do
+    Ugraph.Builder.add_edge b i (k + i);
+    Ugraph.Builder.add_edge b i (k + ((i + 1) mod k))
+  done;
+  Ugraph.Builder.build b

@@ -1,0 +1,31 @@
+(** Strongly chordal graphs (Farber), the class of the paper's
+    reference [16] (White–Farber–Pulleyblank): Steiner trees are
+    NP-hard on chordal graphs but polynomial on strongly chordal ones —
+    the non-bipartite mirror of the paper's (6,1) vs (6,2) gap, and the
+    source of the Fig. 9 reduction's input class.
+
+    A vertex is {e simple} when the closed neighborhoods of its closed
+    neighborhood form an inclusion chain; a graph is strongly chordal
+    iff repeatedly deleting simple vertices deletes everything
+    (equivalently: chordal and every even cycle of length ≥ 6 has an
+    odd chord). *)
+
+val closed_neighborhood : Ugraph.t -> within:Iset.t -> int -> Iset.t
+(** [N[v]] within the induced subgraph. *)
+
+val is_simple_vertex : Ugraph.t -> within:Iset.t -> int -> bool
+
+val simple_elimination_order : Ugraph.t -> int list option
+
+val is_strongly_chordal : Ugraph.t -> bool
+
+val is_strongly_chordal_brute : Ugraph.t -> bool
+(** Definitional oracle: chordal, and every even cycle of length at
+    least 6 has a chord joining two vertices at odd distance along the
+    cycle. Exponential. *)
+
+val sun : int -> Ugraph.t
+(** The [k]-sun ([k >= 3]): a clique [u0..u(k-1)] plus an independent
+    rim [w0..w(k-1)] with [wi] adjacent to [ui] and [u(i+1)]. Suns are
+    chordal but never strongly chordal — the canonical separating
+    family. Rim vertices come first ([0..k-1]), hub vertices after. *)

@@ -1,0 +1,1 @@
+lib/hypergraphs/acyclicity.ml: Berge Beta Chordal Conformal Format Gamma Graphs Gyo Hypergraph List String

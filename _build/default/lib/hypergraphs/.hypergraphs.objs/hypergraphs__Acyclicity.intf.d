@@ -1,0 +1,1 @@
+lib/hypergraphs/acyclicity.mli: Format Hypergraph

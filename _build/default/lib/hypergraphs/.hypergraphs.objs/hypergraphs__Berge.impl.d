@@ -1,0 +1,1 @@
+lib/hypergraphs/berge.ml: Cycles Graphs Hypergraph List

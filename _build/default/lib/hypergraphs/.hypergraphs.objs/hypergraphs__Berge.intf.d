@@ -1,0 +1,1 @@
+lib/hypergraphs/berge.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/beta.ml: Array Graphs Hypergraph Iset List Mcs

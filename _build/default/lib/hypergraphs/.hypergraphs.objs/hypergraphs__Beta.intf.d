@@ -1,0 +1,1 @@
+lib/hypergraphs/beta.mli: Graphs Hypergraph Iset

@@ -1,0 +1,1 @@
+lib/hypergraphs/conformal.ml: Cliques Graphs Hypergraph Iset List

@@ -1,0 +1,1 @@
+lib/hypergraphs/conformal.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/decomposition.ml: Array Graphs Hashtbl Hypergraph Iset List Traverse Ugraph

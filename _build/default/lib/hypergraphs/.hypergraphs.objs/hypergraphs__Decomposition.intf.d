@@ -1,0 +1,1 @@
+lib/hypergraphs/decomposition.mli: Graphs Hypergraph Iset Ugraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/gamma.ml: Beta Graphs Hypergraph Iset

@@ -1,0 +1,1 @@
+lib/hypergraphs/gamma.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/gyo.ml: Array Graphs Hashtbl Hypergraph Iset Join_tree List

@@ -1,0 +1,1 @@
+lib/hypergraphs/gyo.mli: Graphs Hypergraph Iset Join_tree

@@ -1,0 +1,1 @@
+lib/hypergraphs/hypergraph.ml: Array Format Graphs Iset List Traverse Ugraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/hypergraph.mli: Format Graphs Iset Ugraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/join_tree.ml: Array Graphs Hypergraph Iset List Traverse Ugraph

@@ -1,0 +1,1 @@
+lib/hypergraphs/join_tree.mli: Graphs Hypergraph Iset

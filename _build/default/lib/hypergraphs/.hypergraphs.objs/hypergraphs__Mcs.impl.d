@@ -1,0 +1,1 @@
+lib/hypergraphs/mcs.ml: Array Graphs Hypergraph Iset Join_tree List

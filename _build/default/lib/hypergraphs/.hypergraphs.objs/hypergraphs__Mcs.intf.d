@@ -1,0 +1,1 @@
+lib/hypergraphs/mcs.mli: Hypergraph

@@ -1,0 +1,30 @@
+open Graphs
+
+let acyclic h =
+  let g, _ = Hypergraph.incidence_graph h in
+  Cycles.is_acyclic g
+
+(* Search a cycle in the incidence graph and convert it to (edges,
+   nodes) form: incidence cycles alternate node / edge vertices, and any
+   incidence cycle gives a Berge cycle with q >= 2 distinct edges and q
+   distinct nodes. *)
+let find_berge_cycle h =
+  let g, offset = Hypergraph.incidence_graph h in
+  match Cycles.find_cycle g with
+  | None -> None
+  | Some cyc ->
+    let rotated =
+      (* Start the cycle at a node-vertex so pairs line up. *)
+      match List.partition (fun v -> v < offset) cyc with
+      | [], _ -> cyc (* cannot happen: incidence graphs are bipartite *)
+      | _ ->
+        let rec rotate = function
+          | v :: _ as l when v < offset -> l
+          | v :: rest -> rotate (rest @ [ v ])
+          | [] -> []
+        in
+        rotate cyc
+    in
+    let nodes = List.filter (fun v -> v < offset) rotated in
+    let edges = List.filter_map (fun v -> if v >= offset then Some (v - offset) else None) rotated in
+    Some (edges, nodes)

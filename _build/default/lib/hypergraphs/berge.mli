@@ -1,0 +1,13 @@
+(** Berge-acyclicity (Definition 6 with [D = Berge]).
+
+    A Berge cycle is a sequence of [q >= 2] distinct edges threaded by
+    [q] distinct nodes, consecutive edges sharing the thread node. A
+    hypergraph has no Berge cycle exactly when its bipartite incidence
+    graph is a forest, which is how the fast test works; the explicit
+    cycle search is kept as a brute-force oracle. *)
+
+val acyclic : Hypergraph.t -> bool
+
+val find_berge_cycle : Hypergraph.t -> (int list * int list) option
+(** Brute-force witness: [(edge indices, thread nodes)] of some Berge
+    cycle. Exponential; test oracle only. *)

@@ -1,0 +1,109 @@
+open Graphs
+
+let is_nest_point h v =
+  let incident = Iset.elements (Hypergraph.incident h v) in
+  let contents = List.map (Hypergraph.edge h) incident in
+  let sorted = List.sort (fun a b -> compare (Iset.cardinal a) (Iset.cardinal b)) contents in
+  let rec chain = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Iset.subset a b && chain rest
+  in
+  chain sorted
+
+let elimination_order h =
+  let rec go h eliminated =
+    let covered = Hypergraph.covered_nodes h in
+    if Iset.is_empty covered then Some (List.rev eliminated)
+    else
+      match Iset.elements covered |> List.find_opt (is_nest_point h) with
+      | None -> None
+      | Some v -> go (Hypergraph.remove_node h v) (v :: eliminated)
+  in
+  go h []
+
+let acyclic h = elimination_order h <> None
+
+let guarded_node_ordering h =
+  let covered = Array.of_list (Iset.elements (Hypergraph.covered_nodes h)) in
+  match Mcs.rip_ordering (Hypergraph.dual h) with
+  | None -> None
+  | Some dual_order -> Some (List.map (fun i -> covered.(i)) dual_order)
+
+let is_guarded_node_ordering h order =
+  let covered = Hypergraph.covered_nodes h in
+  Iset.equal covered (Iset.of_list order)
+  && List.length order = Iset.cardinal covered
+  &&
+  let rec go earlier = function
+    | [] -> true
+    | ni :: rest ->
+      let guarded =
+        earlier = []
+        ||
+        let edges_with_ni_and_earlier =
+          Iset.filter
+            (fun e ->
+              not
+                (Iset.is_empty
+                   (Iset.inter (Hypergraph.edge h e) (Iset.of_list earlier))))
+            (Hypergraph.incident h ni)
+        in
+        Iset.is_empty edges_with_ni_and_earlier
+        || List.exists
+             (fun nj ->
+               Iset.for_all
+                 (fun e -> Iset.mem nj (Hypergraph.edge h e))
+                 edges_with_ni_and_earlier)
+             earlier
+      in
+      guarded && go (ni :: earlier) rest
+  in
+  go [] order
+
+(* Brute-force β-cycle search, directly from Definition 6: a cyclic
+   sequence of q >= 3 distinct edges where every consecutive
+   intersection contains a node pure to that consecutive pair (in no
+   other edge of the cycle). *)
+let find_beta_cycle ?max_q h =
+  let q_edges = Hypergraph.n_edges h in
+  let bound = match max_q with Some b -> min b q_edges | None -> q_edges in
+  let result = ref None in
+  let check_arrangement arr =
+    let q = Array.length arr in
+    let others i j =
+      (* union of the cycle's edges except positions i and j *)
+      let acc = ref Iset.empty in
+      Array.iteri
+        (fun k e -> if k <> i && k <> j then acc := Iset.union !acc (Hypergraph.edge h e))
+        arr;
+      !acc
+    in
+    let pure i =
+      let j = (i + 1) mod q in
+      Iset.diff
+        (Iset.inter (Hypergraph.edge h arr.(i)) (Hypergraph.edge h arr.(j)))
+        (others i j)
+    in
+    let pures = List.init q pure in
+    if List.for_all (fun s -> not (Iset.is_empty s)) pures then
+      result := Some (Array.to_list arr, pures)
+  in
+  (* Enumerate arrangements: first element is the smallest chosen index;
+     remaining positions are filled by DFS over larger-or-equal ids, and
+     mirror-image duplicates are skipped via second < last. *)
+  let rec fill first used acc len =
+    if !result <> None then ()
+    else if len >= 3 then begin
+      let arr = Array.of_list (List.rev acc) in
+      if arr.(1) < arr.(len - 1) then check_arrangement arr
+    end;
+    if !result = None && len < bound then
+      for e = first + 1 to q_edges - 1 do
+        if (not (List.mem e used)) && !result = None then
+          fill first (e :: used) (e :: acc) (len + 1)
+      done
+  in
+  for first = 0 to q_edges - 1 do
+    if !result = None then fill first [ first ] [ first ] 1
+  done;
+  !result

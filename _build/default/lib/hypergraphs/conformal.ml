@@ -1,0 +1,38 @@
+open Graphs
+
+let gilmore_violation h =
+  let q = Hypergraph.n_edges h in
+  let e = Hypergraph.edge h in
+  let contained_in_some s =
+    let rec go i = i < q && (Iset.subset s (e i) || go (i + 1)) in
+    go 0
+  in
+  let result = ref None in
+  for i = 0 to q - 1 do
+    for j = i + 1 to q - 1 do
+      for k = j + 1 to q - 1 do
+        if !result = None then begin
+          let s =
+            Iset.union
+              (Iset.inter (e i) (e j))
+              (Iset.union (Iset.inter (e j) (e k)) (Iset.inter (e i) (e k)))
+          in
+          if not (contained_in_some s) then result := Some (i, j, k)
+        end
+      done
+    done
+  done;
+  !result
+
+let is_conformal h = gilmore_violation h = None
+
+let is_conformal_brute h =
+  let g = Hypergraph.two_section h in
+  let covered = Hypergraph.covered_nodes h in
+  let q = Hypergraph.n_edges h in
+  let e = Hypergraph.edge h in
+  let contained_in_some s =
+    let rec go i = i < q && (Iset.subset s (e i) || go (i + 1)) in
+    go 0
+  in
+  List.for_all contained_in_some (Cliques.maximal_cliques ~within:covered g)

@@ -1,0 +1,108 @@
+open Graphs
+
+type t = { bags : Iset.t array; parent : int array }
+
+let width t =
+  Array.fold_left (fun acc b -> max acc (Iset.cardinal b - 1)) (-1) t.bags
+
+let verify g t =
+  let n_bags = Array.length t.bags in
+  let nodes = Ugraph.nodes g in
+  let covered v = Array.exists (fun b -> Iset.mem v b) t.bags in
+  let edge_covered u v =
+    Array.exists (fun b -> Iset.mem u b && Iset.mem v b) t.bags
+  in
+  let forest = Ugraph.Builder.create (max n_bags 1) in
+  Array.iteri
+    (fun i p -> if p >= 0 then Ugraph.Builder.add_edge forest i p)
+    t.parent;
+  let forest = Ugraph.Builder.build forest in
+  let occurrences v =
+    let acc = ref Iset.empty in
+    Array.iteri (fun i b -> if Iset.mem v b then acc := Iset.add i !acc) t.bags;
+    !acc
+  in
+  Array.length t.parent = n_bags
+  && Iset.for_all covered nodes
+  && Ugraph.fold_edges (fun u v acc -> acc && edge_covered u v) g true
+  && Iset.for_all
+       (fun v ->
+         Traverse.connects ~within:(Iset.range (max n_bags 1)) forest
+           (occurrences v))
+       nodes
+
+let min_fill g =
+  let n = Ugraph.n g in
+  (* Mutable copy of the adjacency as sets. *)
+  let adj = Array.init n (fun v -> Ugraph.neighbors g v) in
+  let alive = Array.make n true in
+  let fill_count v =
+    let nb = Iset.filter (fun u -> alive.(u)) adj.(v) in
+    let missing = ref 0 in
+    Iset.iter
+      (fun a ->
+        Iset.iter
+          (fun b -> if a < b && not (Iset.mem b adj.(a)) then incr missing)
+          nb)
+      nb;
+    !missing
+  in
+  let bags = ref [] in
+  for _step = 0 to n - 1 do
+    (* Pick the alive vertex with minimum fill. *)
+    let best = ref (-1) and best_fill = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let f = fill_count v in
+        if f < !best_fill then begin
+          best := v;
+          best_fill := f
+        end
+      end
+    done;
+    let v = !best in
+    if v >= 0 then begin
+      let nb = Iset.filter (fun u -> alive.(u)) adj.(v) in
+      (* Add fill edges so the neighborhood becomes a clique. *)
+      Iset.iter
+        (fun a ->
+          Iset.iter
+            (fun b ->
+              if a < b && not (Iset.mem b adj.(a)) then begin
+                adj.(a) <- Iset.add b adj.(a);
+                adj.(b) <- Iset.add a adj.(b)
+              end)
+            nb)
+        nb;
+      alive.(v) <- false;
+      bags := (v, Iset.add v nb) :: !bags
+    end
+  done;
+  let bags = Array.of_list (List.rev !bags) in
+  let n_bags = Array.length bags in
+  (* Standard attachment: bag i (eliminating v_i with clique C_i) hangs
+     under the bag of the earliest-later-eliminated member of C_i. *)
+  let elim_pos = Hashtbl.create 16 in
+  Array.iteri (fun i (v, _) -> Hashtbl.replace elim_pos v i) bags;
+  let parent = Array.make n_bags (-1) in
+  Array.iteri
+    (fun i (v, bag) ->
+      let later =
+        Iset.fold
+          (fun u acc ->
+            if u = v then acc
+            else
+              let j = Hashtbl.find elim_pos u in
+              if j > i then match acc with
+                | None -> Some j
+                | Some k -> Some (min k j)
+              else acc)
+          bag None
+      in
+      match later with Some j -> parent.(i) <- j | None -> ())
+    bags;
+  { bags = Array.map snd bags; parent }
+
+let treewidth_upper g = width (min_fill g)
+
+let of_hypergraph h = min_fill (Hypergraph.two_section h)

@@ -1,0 +1,36 @@
+(** Tree decompositions of ordinary graphs by min-fill elimination, and
+    the induced width measure for hypergraphs.
+
+    This quantifies "how far from acyclic" a schema is — the modern
+    refinement of Fagin's acyclicity degrees that the paper's taxonomy
+    anticipates: an α-acyclic hypergraph's 2-section decomposes with
+    bags that are exactly its hyperedges, so its width is
+    [max edge size - 1]; cyclic schemas pay more. *)
+
+open Graphs
+
+type t = {
+  bags : Iset.t array;
+  parent : int array;  (** [-1] for roots *)
+}
+
+val width : t -> int
+(** [max bag size - 1]; [-1] for the empty decomposition. *)
+
+val verify : Ugraph.t -> t -> bool
+(** The three tree-decomposition axioms: every node in some bag, every
+    edge inside some bag, and each node's bags form a connected
+    subtree. *)
+
+val min_fill : Ugraph.t -> t
+(** Triangulate by repeatedly eliminating a vertex adding the fewest
+    fill edges; one bag per elimination step. On chordal graphs the
+    fill is zero and the width equals the exact treewidth
+    (clique number - 1). *)
+
+val treewidth_upper : Ugraph.t -> int
+(** [width (min_fill g)]. *)
+
+val of_hypergraph : Hypergraph.t -> t
+(** Min-fill decomposition of the 2-section. For α-acyclic hypergraphs
+    its width is [max edge size - 1] (property-tested). *)

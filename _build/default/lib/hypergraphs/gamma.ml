@@ -1,0 +1,25 @@
+open Graphs
+
+let special_3_cycle h =
+  let q = Hypergraph.n_edges h in
+  let e = Hypergraph.edge h in
+  let result = ref None in
+  for i = 0 to q - 1 do
+    for j = 0 to q - 1 do
+      for k = 0 to q - 1 do
+        if !result = None && i <> j && j <> k && i <> k then begin
+          let n1_pool = Iset.diff (Iset.inter (e i) (e j)) (e k) in
+          let n2_pool = Iset.inter (e j) (e k) in
+          let n3_pool = Iset.diff (Iset.inter (e k) (e i)) (e j) in
+          if
+            (not (Iset.is_empty n1_pool))
+            && (not (Iset.is_empty n2_pool))
+            && not (Iset.is_empty n3_pool)
+          then result := Some (i, j, k)
+        end
+      done
+    done
+  done;
+  !result
+
+let acyclic h = Beta.acyclic h && special_3_cycle h = None

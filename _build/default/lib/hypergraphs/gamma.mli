@@ -1,0 +1,13 @@
+(** γ-acyclicity (Definition 6 with [D = γ]).
+
+    A γ-cycle is either a β-cycle or a 3-edge Berge cycle
+    [(e1, e2, e3)] whose thread nodes satisfy [n1 ∉ e3] and [n3 ∉ e2].
+    Hence γ-acyclic ⇔ β-acyclic and no such special 3-cycle; the
+    3-cycle search is a polynomial scan over ordered edge triples. *)
+
+val special_3_cycle : Hypergraph.t -> (int * int * int) option
+(** Some ordered triple [(i, j, k)] of edge indices forming the special
+    3-cycle, if any: [(ei ∩ ej) \ ek], [ej ∩ ek] and [(ek ∩ ei) \ ej]
+    all nonempty. *)
+
+val acyclic : Hypergraph.t -> bool

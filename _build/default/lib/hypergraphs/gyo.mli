@@ -1,0 +1,27 @@
+(** Graham / Yu–Özsoyoğlu (GYO) reduction: the classical test for
+    α-acyclicity, which also yields a join tree.
+
+    The reduction repeatedly (a) deletes nodes that belong to exactly
+    one remaining edge and (b) deletes edges contained in another
+    remaining edge. A hypergraph is α-acyclic iff the reduction deletes
+    every edge. *)
+
+open Graphs
+
+type trace = {
+  survivors : Iset.t array;  (** shrunken content of surviving edges *)
+  surviving_edges : int list;  (** original indices still present *)
+  parent : int array;
+      (** for each original edge index, the edge it was absorbed into,
+          or [-1] if it survived or was emptied last *)
+}
+
+val run : Hypergraph.t -> trace
+
+val alpha_acyclic : Hypergraph.t -> bool
+
+val join_tree : Hypergraph.t -> Join_tree.t option
+(** [Some] join tree over the original edge indices when the hypergraph
+    is α-acyclic (the tree of absorptions recorded by the reduction);
+    [None] otherwise. For a disconnected hypergraph this is a join
+    forest: one root per component. *)

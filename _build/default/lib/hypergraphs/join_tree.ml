@@ -1,0 +1,76 @@
+open Graphs
+
+type t = { hypergraph : Hypergraph.t; parent : int array }
+
+let make hypergraph ~parent =
+  if Array.length parent <> Hypergraph.n_edges hypergraph then
+    invalid_arg "Join_tree.make: parent array length mismatch";
+  (* Reject cycles by walking each chain; a chain longer than the number
+     of edges must loop. *)
+  let q = Array.length parent in
+  Array.iteri
+    (fun i _ ->
+      let rec walk j steps =
+        if steps > q then invalid_arg "Join_tree.make: parent cycle"
+        else if parent.(j) >= 0 then walk parent.(j) (steps + 1)
+      in
+      walk i 0)
+    parent;
+  { hypergraph; parent }
+
+let children t i =
+  let acc = ref [] in
+  Array.iteri (fun j p -> if p = i then acc := j :: !acc) t.parent;
+  List.rev !acc
+
+let roots t =
+  let acc = ref [] in
+  Array.iteri (fun j p -> if p = -1 then acc := j :: !acc) t.parent;
+  List.rev !acc
+
+let separator t i =
+  if t.parent.(i) < 0 then Iset.empty
+  else
+    Iset.inter
+      (Hypergraph.edge t.hypergraph i)
+      (Hypergraph.edge t.hypergraph t.parent.(i))
+
+let verify t =
+  let h = t.hypergraph in
+  let q = Hypergraph.n_edges h in
+  (* Build the undirected forest on edge indices. *)
+  let forest = Ugraph.Builder.create q in
+  Array.iteri
+    (fun i p -> if p >= 0 then Ugraph.Builder.add_edge forest i p)
+    t.parent;
+  let forest = Ugraph.Builder.build forest in
+  Iset.for_all
+    (fun v ->
+      let occ = Hypergraph.incident h v in
+      Traverse.connects ~within:(Iset.range q) forest occ)
+    (Hypergraph.covered_nodes h)
+
+let preorder t =
+  let acc = ref [] in
+  let rec visit i =
+    acc := i :: !acc;
+    List.iter visit (children t i)
+  in
+  List.iter visit (roots t);
+  List.rev !acc
+
+let rip_holds h order =
+  let rec go seen prefix_union = function
+    | [] -> true
+    | i :: rest ->
+      let e = Hypergraph.edge h i in
+      let inter = Iset.inter e prefix_union in
+      let witnessed =
+        Iset.is_empty inter
+        || List.exists (fun j -> Iset.subset inter (Hypergraph.edge h j)) seen
+      in
+      witnessed && go (i :: seen) (Iset.union prefix_union e) rest
+  in
+  match order with
+  | [] -> true
+  | first :: rest -> go [ first ] (Hypergraph.edge h first) rest

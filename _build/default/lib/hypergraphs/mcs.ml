@@ -1,0 +1,42 @@
+open Graphs
+
+let edge_order ?start h =
+  let q = Hypergraph.n_edges h in
+  let selected = Array.make q false in
+  let marked = ref Iset.empty in
+  let order = ref [] in
+  let score i = Iset.cardinal (Iset.inter (Hypergraph.edge h i) !marked) in
+  let select i =
+    selected.(i) <- true;
+    marked := Iset.union !marked (Hypergraph.edge h i);
+    order := i :: !order
+  in
+  (match start with
+  | Some i when i >= 0 && i < q -> select i
+  | Some _ -> invalid_arg "Mcs.edge_order: start out of range"
+  | None -> ());
+  let rec loop () =
+    let best = ref (-1) and best_score = ref (-1) in
+    for i = 0 to q - 1 do
+      if not selected.(i) then begin
+        let s = score i in
+        if s > !best_score then begin
+          best := i;
+          best_score := s
+        end
+      end
+    done;
+    if !best >= 0 then begin
+      select !best;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !order
+
+let alpha_acyclic ?start h =
+  Join_tree.rip_holds h (edge_order ?start h)
+
+let rip_ordering h =
+  let order = edge_order h in
+  if Join_tree.rip_holds h order then Some order else None

@@ -1,0 +1,1 @@
+lib/mc_io/parse.ml: Array Bipartite Buffer Datamodel Format Graphs Hypergraph Hypergraphs Iset List Printf Relalg String

@@ -1,0 +1,1 @@
+lib/mc_io/parse.mli: Bipartite Datamodel Format Graphs Hypergraph Hypergraphs Iset Relalg

@@ -1,0 +1,311 @@
+open Graphs
+open Hypergraphs
+
+type named_bigraph = {
+  graph : Bipartite.Bigraph.t;
+  left_names : string array;
+  right_names : string array;
+}
+
+type error = { line : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d: %s" e.line e.message
+
+let tokenize text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (i, line) ->
+         let line =
+           match String.index_opt line '#' with
+           | Some k -> String.sub line 0 k
+           | None -> line
+         in
+         match
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun t -> t <> "")
+         with
+         | [] -> None
+         | tokens -> Some (i, tokens))
+
+let err line fmt = Printf.ksprintf (fun message -> Error { line; message }) fmt
+
+let expect_header want = function
+  | (_, [ h ]) :: rest when h = want -> Ok rest
+  | (i, _) :: _ -> err i "expected a single '%s' header line" want
+  | [] -> err 0 "empty input (expected '%s' header)" want
+
+let index_of arr name =
+  let rec go i =
+    if i >= Array.length arr then None
+    else if arr.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let bigraph_of_string text =
+  match expect_header "bipartite" (tokenize text) with
+  | Error e -> Error e
+  | Ok lines ->
+    let left = ref [] and right = ref [] and edges = ref [] in
+    let rec consume = function
+      | [] -> Ok ()
+      | (i, "left" :: names) :: rest ->
+        left := !left @ names;
+        if names = [] then err i "'left' line with no names" else consume rest
+      | (i, "right" :: names) :: rest ->
+        right := !right @ names;
+        if names = [] then err i "'right' line with no names" else consume rest
+      | (i, [ "edge"; a; b ]) :: rest ->
+        edges := (i, a, b) :: !edges;
+        consume rest
+      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
+      | (i, []) :: _ -> err i "empty line slipped through"
+    in
+    (match consume lines with
+    | Error e -> Error e
+    | Ok () ->
+      let dup l = List.length (List.sort_uniq compare l) <> List.length l in
+      if dup !left || dup !right || dup (!left @ !right) then
+        err 0 "duplicate node name"
+      else begin
+        let left_names = Array.of_list !left in
+        let right_names = Array.of_list !right in
+        let rec build g = function
+          | [] -> Ok g
+          | (i, a, b) :: rest -> (
+            match (index_of left_names a, index_of right_names b) with
+            | Some la, Some rb ->
+              build (Bipartite.Bigraph.add_edge g la rb) rest
+            | None, _ -> err i "unknown left node '%s'" a
+            | _, None -> err i "unknown right node '%s'" b)
+        in
+        match
+          build
+            (Bipartite.Bigraph.create
+               ~nl:(Array.length left_names)
+               ~nr:(Array.length right_names))
+            (List.rev !edges)
+        with
+        | Error e -> Error e
+        | Ok graph -> Ok { graph; left_names; right_names }
+      end)
+
+let schema_of_string text =
+  match expect_header "schema" (tokenize text) with
+  | Error e -> Error e
+  | Ok lines ->
+    let rec consume acc = function
+      | [] -> Ok (List.rev acc)
+      | (i, "relation" :: name :: attrs) :: rest ->
+        if attrs = [] then err i "relation '%s' has no attributes" name
+        else consume ((name, attrs) :: acc) rest
+      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
+      | (i, []) :: _ -> err i "empty line slipped through"
+    in
+    (match consume [] lines with
+    | Error e -> Error e
+    | Ok rels -> (
+      try Ok (Datamodel.Schema.make rels)
+      with Invalid_argument m -> err 0 "%s" m))
+
+let hypergraph_of_string text =
+  match expect_header "hypergraph" (tokenize text) with
+  | Error e -> Error e
+  | Ok lines ->
+    let nodes = ref [] and edges = ref [] in
+    let rec consume = function
+      | [] -> Ok ()
+      | (i, "nodes" :: names) :: rest ->
+        nodes := !nodes @ names;
+        if names = [] then err i "'nodes' line with no names" else consume rest
+      | (i, "edge" :: name :: members) :: rest ->
+        if members = [] then err i "edge '%s' is empty" name
+        else begin
+          edges := (i, name, members) :: !edges;
+          consume rest
+        end
+      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
+      | (i, []) :: _ -> err i "empty line slipped through"
+    in
+    (match consume lines with
+    | Error e -> Error e
+    | Ok () ->
+      let node_names = Array.of_list !nodes in
+      let rec build acc = function
+        | [] -> Ok (List.rev acc)
+        | (i, _, members) :: rest ->
+          let rec resolve set = function
+            | [] -> Ok set
+            | m :: ms -> (
+              match index_of node_names m with
+              | Some v -> resolve (Iset.add v set) ms
+              | None -> err i "unknown node '%s'" m)
+          in
+          (match resolve Iset.empty members with
+          | Error e -> Error e
+          | Ok set -> build (set :: acc) rest)
+      in
+      match build [] (List.rev !edges) with
+      | Error e -> Error e
+      | Ok family ->
+        let edge_names =
+          Array.of_list (List.rev_map (fun (_, n, _) -> n) !edges)
+        in
+        Ok
+          ( Hypergraph.create ~n_nodes:(Array.length node_names) family,
+            node_names,
+            edge_names ))
+
+let database_of_string text =
+  match expect_header "database" (tokenize text) with
+  | Error e -> Error e
+  | Ok lines ->
+    let schemas = ref [] and rows = ref [] in
+    let rec consume = function
+      | [] -> Ok ()
+      | (i, "relation" :: name :: attrs) :: rest ->
+        if attrs = [] then err i "relation '%s' has no attributes" name
+        else begin
+          schemas := (name, attrs) :: !schemas;
+          consume rest
+        end
+      | (i, "row" :: name :: values) :: rest ->
+        rows := (i, name, values) :: !rows;
+        consume rest
+      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
+      | (i, []) :: _ -> err i "empty line slipped through"
+    in
+    (match consume lines with
+    | Error e -> Error e
+    | Ok () ->
+      let schemas = List.rev !schemas in
+      let rec check_rows = function
+        | [] -> Ok ()
+        | (i, name, values) :: rest -> (
+          match List.assoc_opt name schemas with
+          | None -> err i "row for unknown relation '%s'" name
+          | Some attrs when List.length attrs <> List.length values ->
+            err i "row arity mismatch for '%s'" name
+          | Some _ -> check_rows rest)
+      in
+      (match check_rows (List.rev !rows) with
+      | Error e -> Error e
+      | Ok () -> (
+        let rels =
+          List.map
+            (fun (name, attrs) ->
+              let data =
+                List.rev !rows
+                |> List.filter_map (fun (_, n, values) ->
+                       if n = name then Some values else None)
+              in
+              (name, Relalg.Relation.make ~attrs data))
+            schemas
+        in
+        try Ok (Relalg.Database.make rels)
+        with Invalid_argument m -> err 0 "%s" m)))
+
+let query_of_string text =
+  let words =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char ',')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  match words with
+  | "connect" :: rest ->
+    let rec split_objects acc = function
+      | [] -> (List.rev acc, [])
+      | "where" :: conds -> (List.rev acc, conds)
+      | w :: rest -> split_objects (w :: acc) rest
+    in
+    let objects, conds = split_objects [] rest in
+    if objects = [] then err 1 "no objects to connect"
+    else
+      let rec parse_conds acc = function
+        | [] -> Ok (List.rev acc)
+        | attr :: "=" :: value :: rest -> (
+          match rest with
+          | "and" :: more -> parse_conds ((attr, value) :: acc) more
+          | [] -> Ok (List.rev ((attr, value) :: acc))
+          | w :: _ -> err 1 "expected 'and', found '%s'" w)
+        | w :: _ -> err 1 "malformed condition near '%s'" w
+      in
+      (match parse_conds [] conds with
+      | Error e -> Error e
+      | Ok where -> Ok (objects, where))
+  | _ -> err 1 "queries start with 'connect'"
+
+let name_set nb names =
+  let module B = Bipartite.Bigraph in
+  let rec go acc = function
+    | [] -> Ok acc
+    | n :: rest -> (
+      match index_of nb.left_names n with
+      | Some i -> go (Iset.add (B.index nb.graph (B.L i)) acc) rest
+      | None -> (
+        match index_of nb.right_names n with
+        | Some j -> go (Iset.add (B.index nb.graph (B.R j)) acc) rest
+        | None -> Error n))
+  in
+  go Iset.empty names
+
+let bigraph_to_string nb =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "bipartite\n";
+  Buffer.add_string buf
+    ("left " ^ String.concat " " (Array.to_list nb.left_names) ^ "\n");
+  Buffer.add_string buf
+    ("right " ^ String.concat " " (Array.to_list nb.right_names) ^ "\n");
+  List.iter
+    (fun (i, j) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s\n" nb.left_names.(i) nb.right_names.(j)))
+    (Bipartite.Bigraph.edges nb.graph);
+  Buffer.contents buf
+
+let schema_to_string schema =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "schema\n";
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s %s\n" name
+           (String.concat " " (Datamodel.Schema.relation_attrs schema name))))
+    (Datamodel.Schema.relation_names schema);
+  Buffer.contents buf
+
+let hypergraph_to_string h ~node_names ~edge_names =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "hypergraph\n";
+  Buffer.add_string buf
+    ("nodes " ^ String.concat " " (Array.to_list node_names) ^ "\n");
+  Array.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s\n" edge_names.(i)
+           (String.concat " "
+              (List.map (fun v -> node_names.(v)) (Iset.elements e)))))
+    (Hypergraph.edges h);
+  Buffer.contents buf
+
+let database_to_string db =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "database\n";
+  List.iter
+    (fun (name, r) ->
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s %s\n" name
+           (String.concat " " (Relalg.Relation.attrs r))))
+    (Relalg.Database.relations db);
+  List.iter
+    (fun (name, r) ->
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            (Printf.sprintf "row %s %s\n" name (String.concat " " row)))
+        (Relalg.Relation.tuples r))
+    (Relalg.Database.relations db);
+  Buffer.contents buf

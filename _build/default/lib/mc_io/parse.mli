@@ -1,0 +1,78 @@
+(** Text formats for the CLI and the examples.
+
+    Bipartite graph files:
+    {v
+    # comment
+    bipartite
+    left  A B C
+    right r1 r2
+    edge  A r1
+    edge  B r1
+    v}
+
+    Schema files:
+    {v
+    schema
+    relation works    emp dept
+    relation located  dept floor
+    v}
+
+    Hypergraph files:
+    {v
+    hypergraph
+    nodes a b c d
+    edge  e1  a b
+    edge  e2  b c d
+    v}
+
+    Node/relation names may be any whitespace-free strings; [left] and
+    [right] lines may repeat and accumulate. *)
+
+open Graphs
+open Hypergraphs
+
+type named_bigraph = {
+  graph : Bipartite.Bigraph.t;
+  left_names : string array;
+  right_names : string array;
+}
+
+type error = { line : int; message : string }
+
+val bigraph_of_string : string -> (named_bigraph, error) result
+
+val schema_of_string : string -> (Datamodel.Schema.t, error) result
+
+val hypergraph_of_string :
+  string -> (Hypergraph.t * string array * string array, error) result
+(** Returns the hypergraph plus node names and edge names. *)
+
+val database_of_string : string -> (Relalg.Database.t, error) result
+(** Populated database files:
+    {v
+    database
+    relation works  emp dept
+    row works  alice toys
+    row works  bob   books
+    v} *)
+
+val query_of_string :
+  string -> (string list * (string * string) list, error) result
+(** The interface's tiny query language:
+    [connect emp, manager where dept = toys and floor = 1] returns the
+    object names and the equality selections. *)
+
+val name_set : named_bigraph -> string list -> (Iset.t, string) result
+(** Resolve a list of names to underlying indices; [Error name] on the
+    first unknown one. *)
+
+val bigraph_to_string : named_bigraph -> string
+
+val schema_to_string : Datamodel.Schema.t -> string
+
+val hypergraph_to_string :
+  Hypergraph.t -> node_names:string array -> edge_names:string array -> string
+
+val database_to_string : Relalg.Database.t -> string
+
+val pp_error : Format.formatter -> error -> unit

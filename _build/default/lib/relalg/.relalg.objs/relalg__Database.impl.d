@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Format Graphs Hypergraph Hypergraphs Iset List Ops Relation String

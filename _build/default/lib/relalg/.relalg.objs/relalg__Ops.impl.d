@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Hashtbl List Relation

@@ -1,0 +1,1 @@
+lib/relalg/yannakakis.ml: Array Database Gyo Hypergraphs Join_tree List Ops Relation

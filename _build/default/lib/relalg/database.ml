@@ -1,0 +1,60 @@
+open Graphs
+open Hypergraphs
+
+type t = { rels : (string * Relation.t) list }
+
+let make rels =
+  let names = List.map fst rels in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Database.make: duplicate relation name";
+  { rels }
+
+let relation t name = List.assoc name t.rels
+let names t = List.map fst t.rels
+let relations t = t.rels
+
+let attributes t =
+  List.sort_uniq compare
+    (List.concat_map (fun (_, r) -> Relation.attrs r) t.rels)
+
+let attribute_index t a =
+  let rec go i = function
+    | [] -> raise Not_found
+    | x :: _ when x = a -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (attributes t)
+
+let scheme_hypergraph t =
+  let attrs = attributes t in
+  let n_nodes = List.length attrs in
+  let index a = attribute_index t a in
+  let family =
+    List.map
+      (fun (_, r) -> Iset.of_list (List.map index (Relation.attrs r)))
+      t.rels
+  in
+  Hypergraph.create ~n_nodes family
+
+let semijoin_reduce t ~order =
+  List.fold_left
+    (fun db (rname, sname) ->
+      let r = relation db rname and s = relation db sname in
+      let reduced = Ops.semijoin r s in
+      {
+        rels =
+          List.map
+            (fun (n, rel) -> if n = rname then (n, reduced) else (n, rel))
+            db.rels;
+      })
+    t order
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (n, r) ->
+      Format.fprintf ppf "%s(%s): %d tuples@," n
+        (String.concat ", " (Relation.attrs r))
+        (Relation.cardinality r))
+    t.rels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** A database: named relations plus the scheme-level view as a
+    hypergraph over its attributes. *)
+
+open Hypergraphs
+
+type t
+
+val make : (string * Relation.t) list -> t
+(** Raises [Invalid_argument] on duplicate relation names. *)
+
+val relation : t -> string -> Relation.t
+(** Raises [Not_found]. *)
+
+val names : t -> string list
+
+val relations : t -> (string * Relation.t) list
+
+val attributes : t -> string list
+(** Sorted union of all relations' attributes. *)
+
+val attribute_index : t -> string -> int
+(** Position in {!attributes}; raises [Not_found]. *)
+
+val scheme_hypergraph : t -> Hypergraph.t
+(** Nodes are attributes (in {!attributes} order), one hyperedge per
+    relation (in {!names} order). *)
+
+val semijoin_reduce : t -> order:(string * string) list -> t
+(** Apply a semijoin program: for each pair [(r, s)] in order, replace
+    [r] by [r ⋉ s]. *)
+
+val pp : Format.formatter -> t -> unit

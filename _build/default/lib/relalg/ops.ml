@@ -1,0 +1,66 @@
+let project r keep =
+  List.iter
+    (fun a ->
+      if not (Relation.mem_attr r a) then
+        invalid_arg ("Ops.project: unknown attribute " ^ a))
+    keep;
+  let rows =
+    List.map (fun row -> List.map (Relation.value r row) keep) (Relation.tuples r)
+  in
+  Relation.make ~attrs:keep rows
+
+let select_eq r ~attr ~value =
+  let rows =
+    List.filter (fun row -> Relation.value r row attr = value) (Relation.tuples r)
+  in
+  Relation.make ~attrs:(Relation.attrs r) rows
+
+let key_of common r row = List.map (Relation.value r row) common
+
+let natural_join a b =
+  let common =
+    List.filter (fun x -> Relation.mem_attr b x) (Relation.attrs a)
+  in
+  let b_extras =
+    List.filter (fun x -> not (Relation.mem_attr a x)) (Relation.attrs b)
+  in
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let k = key_of common b row in
+      let existing = try Hashtbl.find index k with Not_found -> [] in
+      Hashtbl.replace index k (row :: existing))
+    (Relation.tuples b);
+  let out = ref [] in
+  List.iter
+    (fun row ->
+      let k = key_of common a row in
+      match Hashtbl.find_opt index k with
+      | None -> ()
+      | Some matches ->
+        List.iter
+          (fun brow ->
+            let extras = List.map (Relation.value b brow) b_extras in
+            out := (row @ extras) :: !out)
+          matches)
+    (Relation.tuples a);
+  Relation.make ~attrs:(Relation.attrs a @ b_extras) !out
+
+let semijoin r s =
+  let common =
+    List.filter (fun x -> Relation.mem_attr s x) (Relation.attrs r)
+  in
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun row -> Hashtbl.replace keys (key_of common s row) ())
+    (Relation.tuples s);
+  let rows =
+    List.filter
+      (fun row -> Hashtbl.mem keys (key_of common r row))
+      (Relation.tuples r)
+  in
+  Relation.make ~attrs:(Relation.attrs r) rows
+
+let join_all = function
+  | [] -> None
+  | r :: rest -> Some (List.fold_left natural_join r rest)

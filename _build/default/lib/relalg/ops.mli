@@ -1,0 +1,19 @@
+(** Relational algebra operators: projection, selection, natural join,
+    semijoin. *)
+
+val project : Relation.t -> string list -> Relation.t
+(** Keep the listed attributes (which must exist); duplicates in the
+    result collapse. *)
+
+val select_eq : Relation.t -> attr:string -> value:string -> Relation.t
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Hash join on the common attributes; a cartesian product when there
+    are none. Column order: left's columns then right's extras. *)
+
+val semijoin : Relation.t -> Relation.t -> Relation.t
+(** [semijoin r s] keeps the tuples of [r] that join with some tuple of
+    [s]. *)
+
+val join_all : Relation.t list -> Relation.t option
+(** Left fold of natural joins; [None] on the empty list. *)

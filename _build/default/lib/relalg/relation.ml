@@ -1,0 +1,42 @@
+type t = { columns : string list; rows : string list list }
+
+let make ~attrs rows =
+  let sorted = List.sort_uniq compare attrs in
+  if List.length sorted <> List.length attrs then
+    invalid_arg "Relation.make: duplicate attribute";
+  List.iter
+    (fun row ->
+      if List.length row <> List.length attrs then
+        invalid_arg "Relation.make: arity mismatch")
+    rows;
+  { columns = attrs; rows = List.sort_uniq compare rows }
+
+let attrs r = r.columns
+let attr_set r = List.sort compare r.columns
+let tuples r = r.rows
+let cardinality r = List.length r.rows
+let arity r = List.length r.columns
+let mem_attr r a = List.mem a r.columns
+
+let value r row attr =
+  let rec go cols vals =
+    match (cols, vals) with
+    | c :: _, v :: _ when c = attr -> v
+    | _ :: cols, _ :: vals -> go cols vals
+    | _ -> invalid_arg ("Relation.value: no attribute " ^ attr)
+  in
+  go r.columns row
+
+let canonical r =
+  (* Rows as sorted (attr, value) association lists, sorted. *)
+  let keyed row = List.sort compare (List.combine r.columns row) in
+  List.sort compare (List.map keyed r.rows)
+
+let equal a b = attr_set a = attr_set b && canonical a = canonical b
+
+let empty_like r = { r with rows = [] }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " r.columns);
+  List.iter (fun row -> Format.fprintf ppf "%s@," (String.concat " | " row)) r.rows;
+  Format.fprintf ppf "(%d tuples)@]" (cardinality r)

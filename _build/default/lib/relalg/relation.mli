@@ -1,0 +1,38 @@
+(** In-memory relations: a named attribute list and a set of tuples.
+
+    This is the minimal relational substrate behind the paper's
+    motivation (universal-relation interfaces, semijoin programs on
+    acyclic schemas). Values are strings; a tuple assigns one value per
+    attribute, positionally. *)
+
+type t
+
+val make : attrs:string list -> string list list -> t
+(** Raises [Invalid_argument] on duplicate attributes or arity
+    mismatches. Duplicate tuples collapse. *)
+
+val attrs : t -> string list
+(** In column order. *)
+
+val attr_set : t -> string list
+(** Sorted. *)
+
+val tuples : t -> string list list
+(** In column order of [attrs], sorted and duplicate-free. *)
+
+val cardinality : t -> int
+
+val arity : t -> int
+
+val mem_attr : t -> string -> bool
+
+val value : t -> string list -> string -> string
+(** [value r tuple attr]: the attr's value in a tuple of [r] (tuple
+    given in [r]'s column order). *)
+
+val equal : t -> t -> bool
+(** Same attribute set and same tuple set (column order ignored). *)
+
+val empty_like : t -> t
+
+val pp : Format.formatter -> t -> unit

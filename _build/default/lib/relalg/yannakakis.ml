@@ -1,0 +1,72 @@
+open Hypergraphs
+
+type plan = Acyclic of Join_tree.t | Naive_fallback
+
+let plan db =
+  match Gyo.join_tree (Database.scheme_hypergraph db) with
+  | Some jt -> Acyclic jt
+  | None -> Naive_fallback
+
+let rel_at db i = snd (List.nth (Database.relations db) i)
+let name_at db i = fst (List.nth (Database.relations db) i)
+
+let full_reducer db jt =
+  let pre = Join_tree.preorder jt in
+  let upward =
+    (* children before parents: reverse preorder; semijoin parent by
+       child. *)
+    List.rev pre
+    |> List.filter_map (fun i ->
+           let p = jt.Join_tree.parent.(i) in
+           if p >= 0 then Some (name_at db p, name_at db i) else None)
+  in
+  let downward =
+    pre
+    |> List.filter_map (fun i ->
+           let p = jt.Join_tree.parent.(i) in
+           if p >= 0 then Some (name_at db i, name_at db p) else None)
+  in
+  Database.semijoin_reduce db ~order:(upward @ downward)
+
+let check_output db output =
+  let known = Database.attributes db in
+  List.iter
+    (fun a ->
+      if not (List.mem a known) then
+        invalid_arg ("Yannakakis: unknown output attribute " ^ a))
+    output
+
+let evaluate_naive db ~output =
+  check_output db output;
+  match Ops.join_all (List.map snd (Database.relations db)) with
+  | None -> Relation.make ~attrs:output []
+  | Some joined -> Ops.project joined output
+
+let evaluate db ~output =
+  check_output db output;
+  match plan db with
+  | Naive_fallback -> evaluate_naive db ~output
+  | Acyclic jt ->
+    let reduced = full_reducer db jt in
+    let rec eval_subtree i =
+      let rel = rel_at reduced i in
+      let joined =
+        List.fold_left
+          (fun acc child -> Ops.natural_join acc (eval_subtree child))
+          rel (Join_tree.children jt i)
+      in
+      let p = jt.Join_tree.parent.(i) in
+      let keep_above =
+        if p < 0 then [] else Relation.attrs (rel_at reduced p)
+      in
+      let keep =
+        List.filter
+          (fun a -> List.mem a output || List.mem a keep_above)
+          (Relation.attrs joined)
+      in
+      Ops.project joined keep
+    in
+    let root_results = List.map eval_subtree (Join_tree.roots jt) in
+    (match Ops.join_all root_results with
+    | None -> Relation.make ~attrs:output []
+    | Some r -> Ops.project r output)

@@ -1,0 +1,27 @@
+(** Yannakakis' algorithm: evaluate a project-join query over an
+    α-acyclic database in polynomial time using a full semijoin reducer
+    along a join tree — the efficiency payoff of acyclicity that
+    motivates the paper's Section 1.
+
+    [evaluate] falls back to the naive join-everything plan when the
+    scheme is cyclic. *)
+
+open Hypergraphs
+
+type plan =
+  | Acyclic of Join_tree.t  (** join tree over the relations *)
+  | Naive_fallback
+
+val plan : Database.t -> plan
+
+val full_reducer : Database.t -> Join_tree.t -> Database.t
+(** Upward then downward semijoin passes; the result is globally
+    consistent when the tree is a coherent join tree. *)
+
+val evaluate : Database.t -> output:string list -> Relation.t
+(** Project-join: π_output(⋈ all relations). Raises [Invalid_argument]
+    when an output attribute does not occur in the database. *)
+
+val evaluate_naive : Database.t -> output:string list -> Relation.t
+(** Ground truth: fold the natural joins in declaration order, then
+    project. Exponential intermediate results possible. *)

@@ -1,0 +1,1 @@
+lib/steiner/algorithm1.ml: Array Bigraph Bipartite Cover Graphs Gyo Hypergraph Hypergraphs Iset Join_tree List Logs String Traverse Tree Ugraph

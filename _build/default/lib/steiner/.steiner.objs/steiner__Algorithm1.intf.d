@@ -1,0 +1,1 @@
+lib/steiner/algorithm1.mli: Bigraph Bipartite Graphs Iset Stdlib Tree

@@ -1,0 +1,1 @@
+lib/steiner/algorithm2.ml: Bigraph Bipartite Cover Graphs Iset Logs Traverse Tree

@@ -1,0 +1,1 @@
+lib/steiner/algorithm2.mli: Bigraph Bipartite Graphs Iset Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/brute.ml: Array Bigraph Bipartite Graphs Iset List Traverse Tree Ugraph

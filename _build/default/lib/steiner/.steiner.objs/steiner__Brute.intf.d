@@ -1,0 +1,1 @@
+lib/steiner/brute.mli: Bigraph Bipartite Graphs Iset Tree Ugraph

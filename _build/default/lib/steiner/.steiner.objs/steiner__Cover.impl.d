@@ -1,0 +1,1 @@
+lib/steiner/cover.ml: Array Graphs Iset List Traverse Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/cover.mli: Graphs Iset Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/dreyfus_wagner.ml: Array Graphs Iset List Option Spanning Traverse Tree Ugraph

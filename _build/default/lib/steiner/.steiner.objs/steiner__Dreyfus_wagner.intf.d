@@ -1,0 +1,1 @@
+lib/steiner/dreyfus_wagner.mli: Graphs Iset Tree Ugraph

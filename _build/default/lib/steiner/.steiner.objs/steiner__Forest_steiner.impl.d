@@ -1,0 +1,1 @@
+lib/steiner/forest_steiner.ml: Cycles Graphs Iset Traverse Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/forest_steiner.mli: Graphs Iset Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/good_ordering.ml: Cover Dreyfus_wagner Graphs Iset Traverse Ugraph

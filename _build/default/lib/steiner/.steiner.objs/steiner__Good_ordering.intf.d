@@ -1,0 +1,1 @@
+lib/steiner/good_ordering.mli: Graphs Iset Ugraph

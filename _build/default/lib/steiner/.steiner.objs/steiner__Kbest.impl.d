@@ -1,0 +1,1 @@
+lib/steiner/kbest.ml: Dreyfus_wagner Graphs List Tree Ugraph

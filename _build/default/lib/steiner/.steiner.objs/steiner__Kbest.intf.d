@@ -1,0 +1,1 @@
+lib/steiner/kbest.mli: Graphs Iset Tree Ugraph

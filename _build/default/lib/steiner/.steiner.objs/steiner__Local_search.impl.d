@@ -1,0 +1,1 @@
+lib/steiner/local_search.ml: Graphs Iset List Mst_approx Random Traverse Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/local_search.mli: Graphs Iset Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/mst_approx.ml: Array Graphs Iset List Traverse Tree

@@ -1,0 +1,1 @@
+lib/steiner/mst_approx.mli: Graphs Iset Tree Ugraph

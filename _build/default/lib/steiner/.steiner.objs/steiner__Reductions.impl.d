@@ -1,0 +1,1 @@
+lib/steiner/reductions.ml: Array Bigraph Bipartite Brute Dreyfus_wagner Graphs Iset List Side_properties Tree Ugraph X3c

@@ -1,0 +1,1 @@
+lib/steiner/reductions.mli: Bigraph Bipartite Graphs Iset Ugraph X3c

@@ -1,0 +1,1 @@
+lib/steiner/tree.ml: Format Graphs Iset List Spanning Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/tree.mli: Format Graphs Iset Ugraph

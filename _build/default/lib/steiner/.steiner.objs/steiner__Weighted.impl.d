@@ -1,0 +1,1 @@
+lib/steiner/weighted.ml: Array Dreyfus_wagner Graphs Iset List Spanning Traverse Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/weighted.mli: Graphs Iset Tree Ugraph

@@ -1,0 +1,1 @@
+lib/steiner/x3c.ml: Array Format List

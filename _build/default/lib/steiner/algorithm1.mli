@@ -1,0 +1,38 @@
+(** Algorithm 1 (Theorem 3/4): pseudo-Steiner trees w.r.t. V₂ on
+    V₂-chordal, V₂-conformal (= α-acyclic H¹) bipartite graphs in
+    O(|V|·|A|) — in database terms, answer a query over an α-acyclic
+    schema touching the minimum number of relations.
+
+    Step 1 computes the Lemma 1 elimination ordering of the right
+    nodes: the reverse of a running-intersection ordering of H¹'s
+    hyperedges, obtained here as a join-tree preorder. Step 2 scans the
+    ordering and deletes each right node [v] together with [Adj*(v)]
+    (its private left neighbors) whenever the remainder still covers
+    the terminals. Step 3 returns a spanning tree. *)
+
+open Graphs
+open Bipartite
+
+type error =
+  | Disconnected_terminals
+      (** the terminals do not lie in one component *)
+  | Not_alpha_acyclic
+      (** the terminal component is not V₂-chordal V₂-conformal, so the
+          Lemma 1 ordering does not exist and the guarantee is void *)
+
+type result = {
+  tree : Tree.t;
+  v2_count : int;  (** number of right nodes in the tree — the paper's
+                       minimised objective *)
+  elimination_order : int list;
+      (** the Lemma 1 ordering W actually used (underlying indices of
+          right nodes) *)
+}
+
+val solve : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
+(** [p] contains underlying indices (left or right nodes). *)
+
+val solve_wrt_v1 : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
+(** Same algorithm on the flipped graph: minimises left nodes, licensed
+    when H² is α-acyclic. [v2_count] then counts V₁ nodes and all
+    indices refer to the original graph. *)

@@ -1,0 +1,27 @@
+open Graphs
+open Bipartite
+
+let log_src =
+  Logs.Src.create "minconn.algorithm2" ~doc:"Algorithm 2 (Theorem 5)"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let solve ?order g ~p =
+  match Traverse.component_containing g p with
+  | None -> None
+  | Some comp ->
+    let order =
+      let listed = match order with Some o -> o | None -> [] in
+      let missing =
+        Iset.elements (Iset.diff comp (Iset.of_list listed))
+      in
+      listed @ missing
+    in
+    let survivors = Cover.eliminate_redundant ~order g ~within:comp ~p in
+    Log.debug (fun m ->
+        m "eliminated %d of %d component nodes; survivors %a"
+          (Iset.cardinal comp - Iset.cardinal survivors)
+          (Iset.cardinal comp) Iset.pp survivors);
+    Tree.of_node_set g survivors
+
+let solve_bigraph ?order g ~p = solve ?order (Bigraph.ugraph g) ~p

@@ -1,0 +1,22 @@
+(** Algorithm 2 (Theorem 5): Steiner trees on (6,2)-chordal bipartite
+    graphs in O(|V|·|A|).
+
+    For every node outside the terminal set, in any order, drop it if
+    the remainder still covers the terminals; finish with a spanning
+    tree. Lemma 5 shows that on (6,2)-chordal graphs {e every}
+    nonredundant cover is minimum, so this one-pass elimination is
+    exact there (Corollary 5: all orderings are good). On arbitrary
+    graphs the function still returns a tree over the terminals — just
+    without the optimality guarantee — which is exactly how the paper's
+    Theorem 6 discussion exercises it. *)
+
+open Graphs
+open Bipartite
+
+val solve : ?order:int list -> Ugraph.t -> p:Iset.t -> Tree.t option
+(** [None] when the terminals do not share a component. The elimination
+    is restricted to the component containing [p]; [order] defaults to
+    increasing node ids and may mention any subset of nodes (missing
+    nodes are appended in increasing order, terminals are skipped). *)
+
+val solve_bigraph : ?order:int list -> Bigraph.t -> p:Iset.t -> Tree.t option

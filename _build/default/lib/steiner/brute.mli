@@ -1,0 +1,19 @@
+(** Pure subset-enumeration Steiner solvers: the ground-truth oracles
+    the test suite compares everything against. Exponential in the
+    number of optional nodes; instances must stay tiny. *)
+
+open Graphs
+open Bipartite
+
+val steiner : Ugraph.t -> terminals:Iset.t -> Tree.t option
+(** Minimum-node tree over the terminals by enumerating optional node
+    subsets in ascending cardinality. *)
+
+val v2_minimum : Bigraph.t -> p:Iset.t -> (Tree.t * int) option
+(** Pseudo-Steiner w.r.t. V₂ (Definition 9): a tree over [p] whose
+    number of right nodes is minimum, with that count. Enumerates right
+    node subsets only — left nodes are free, so for a fixed right subset
+    it suffices to throw in every adjacent left node and check
+    coverage. *)
+
+val v1_minimum : Bigraph.t -> p:Iset.t -> (Tree.t * int) option

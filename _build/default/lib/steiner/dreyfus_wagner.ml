@@ -1,0 +1,161 @@
+open Graphs
+
+let max_terminals = 17
+
+let inf = max_int / 4
+
+(* Reconstruction tags for dp.(mask).(v). *)
+type choice =
+  | Leaf  (** base case: path from the mask's single terminal *)
+  | Merge of int  (** split into submask / complement at [v] *)
+  | Via of int  (** tree at [u] extended by a shortest u–v path *)
+
+let solve ?within g ~terminals =
+  let w = match within with Some w -> w | None -> Ugraph.nodes g in
+  if not (Iset.subset terminals w) then None
+  else if Iset.cardinal terminals <= 1 then
+    Some { Tree.nodes = terminals; edges = [] }
+  else if not (Traverse.connects ~within:w g terminals) then None
+  else begin
+    let terms = Array.of_list (Iset.elements terminals) in
+    let t = Array.length terms in
+    if t > max_terminals then
+      invalid_arg "Dreyfus_wagner.solve: too many terminals";
+    let n = Ugraph.n g in
+    let full = (1 lsl t) - 1 in
+    (* Distances restricted to [w], from every node (sparse: only nodes
+       in w are sources we need, but indexing by node id is simplest). *)
+    let dist = Array.init n (fun s -> if Iset.mem s w then Traverse.bfs ~within:w g s else Array.make n (-1)) in
+    let d u v = if dist.(u).(v) < 0 then inf else dist.(u).(v) in
+    let dp = Array.make_matrix (full + 1) n inf in
+    let how = Array.make_matrix (full + 1) n Leaf in
+    for i = 0 to t - 1 do
+      let mask = 1 lsl i in
+      Iset.iter (fun v -> dp.(mask).(v) <- d terms.(i) v) w
+    done;
+    (* Bucket-queue Dijkstra pass: propagate dp.(mask) along edges of
+       unit weight so that dp.(mask).(v) accounts for "grow by a path"
+       transitions. *)
+    let relax mask =
+      let maxd = n + 1 in
+      let buckets = Array.make (maxd + 1) [] in
+      Iset.iter
+        (fun v ->
+          let dv = dp.(mask).(v) in
+          if dv <= maxd then buckets.(dv) <- v :: buckets.(dv))
+        w;
+      let settled = Array.make n false in
+      for dist_now = 0 to maxd do
+        let rec drain () =
+          match buckets.(dist_now) with
+          | [] -> ()
+          | v :: rest ->
+            buckets.(dist_now) <- rest;
+            if (not settled.(v)) && dp.(mask).(v) = dist_now then begin
+              settled.(v) <- true;
+              Iset.iter
+                (fun u ->
+                  if dist_now + 1 < dp.(mask).(u) then begin
+                    dp.(mask).(u) <- dist_now + 1;
+                    how.(mask).(u) <- Via v;
+                    if dist_now + 1 <= maxd then
+                      buckets.(dist_now + 1) <- u :: buckets.(dist_now + 1)
+                  end)
+                (Ugraph.adj_within g ~within:w v)
+            end;
+            drain ()
+        in
+        drain ()
+      done
+    in
+    for i = 0 to t - 1 do
+      relax (1 lsl i)
+    done;
+    let rec submasks m sub acc =
+      if sub = 0 then acc else submasks m ((sub - 1) land m) (sub :: acc)
+    in
+    for mask = 1 to full do
+      if mask land (mask - 1) <> 0 then begin
+        (* Merge transitions: to avoid double work, force the submask to
+           contain the mask's lowest terminal. *)
+        let low = mask land -mask in
+        let subs =
+          submasks mask mask []
+          |> List.filter (fun sub ->
+                 sub <> mask && sub land low <> 0)
+        in
+        Iset.iter
+          (fun v ->
+            List.iter
+              (fun sub ->
+                let cost = dp.(sub).(v) + dp.(mask lxor sub).(v) in
+                if cost < dp.(mask).(v) then begin
+                  dp.(mask).(v) <- cost;
+                  how.(mask).(v) <- Merge sub
+                end)
+              subs)
+          w;
+        relax mask
+      end
+    done;
+    (* Best root. *)
+    let root = ref (-1) and best = ref inf in
+    Iset.iter
+      (fun v ->
+        if dp.(full).(v) < !best then begin
+          best := dp.(full).(v);
+          root := v
+        end)
+      w;
+    if !best >= inf then None
+    else begin
+      let nodes = ref Iset.empty in
+      let add_path u v =
+        (* Walk from v back toward u along decreasing distance. *)
+        let rec go x =
+          nodes := Iset.add x !nodes;
+          if x <> u then begin
+            let pred =
+              Iset.fold
+                (fun y acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> if d u y = d u x - 1 then Some y else None)
+                (Ugraph.adj_within g ~within:w x)
+                None
+            in
+            match pred with
+            | Some y -> go y
+            | None -> assert false
+          end
+        in
+        go v
+      in
+      let rec rebuild mask v =
+        match how.(mask).(v) with
+        | Leaf ->
+          let i =
+            let rec find i = if mask = 1 lsl i then i else find (i + 1) in
+            find 0
+          in
+          add_path terms.(i) v
+        | Via u ->
+          nodes := Iset.add v !nodes;
+          rebuild mask u
+        | Merge sub ->
+          rebuild sub v;
+          rebuild (mask lxor sub) v
+      in
+      rebuild full !root;
+      (* The collected node set is connected and has exactly opt + 1
+         nodes (the reconstruction walks at most opt distinct edges and
+         any connected cover needs at least that many), so a spanning
+         tree of it is an optimal Steiner tree. *)
+      match Spanning.spanning_tree ~within:!nodes g with
+      | Some tree_edges -> Some { Tree.nodes = !nodes; edges = tree_edges }
+      | None -> assert false
+    end
+  end
+
+let optimum_nodes ?within g ~terminals =
+  Option.map Tree.node_count (solve ?within g ~terminals)

@@ -1,0 +1,22 @@
+(** Exact unweighted Steiner trees via the Dreyfus–Wagner dynamic
+    program (1971), minimising the number of edges — equivalently, for a
+    tree, the number of nodes.
+
+    Complexity O(3^t · n + 2^t · n · m) for [t] terminals: exponential
+    in the terminal count only, which is exactly the baseline shape the
+    paper's NP-hardness results predict (Theorem 2) and against which
+    the polynomial Algorithms 1 and 2 are benchmarked. *)
+
+open Graphs
+
+val max_terminals : int
+(** Guard on [2^t] table size (17). *)
+
+val solve : ?within:Iset.t -> Ugraph.t -> terminals:Iset.t -> Tree.t option
+(** A minimum-node tree of the induced subgraph spanning the terminals;
+    [None] when the terminals are not connected. Raises
+    [Invalid_argument] beyond {!max_terminals}. Zero or one terminal
+    yield the trivial tree. *)
+
+val optimum_nodes : ?within:Iset.t -> Ugraph.t -> terminals:Iset.t -> int option
+(** Just the optimal node count. *)

@@ -1,0 +1,25 @@
+open Graphs
+
+let solve g ~terminals =
+  if Iset.is_empty terminals then Some Tree.empty
+  else
+    match Traverse.component_containing g terminals with
+    | None -> None
+    | Some comp ->
+      if not (Cycles.is_acyclic ~within:comp g) then None
+      else begin
+        (* In a tree, the minimal connection is the union of pairwise
+           paths; equivalently, prune non-terminal leaves repeatedly. *)
+        let rec prune nodes =
+          let removable =
+            Iset.filter
+              (fun v ->
+                (not (Iset.mem v terminals))
+                && Iset.cardinal (Ugraph.adj_within g ~within:nodes v) <= 1)
+              nodes
+          in
+          if Iset.is_empty removable then nodes
+          else prune (Iset.diff nodes removable)
+        in
+        Tree.of_node_set g (prune comp)
+      end

@@ -1,0 +1,11 @@
+(** Steiner trees on forests — the (4,1)-chordal / Berge-acyclic row of
+    the paper's complexity table, where the minimal connection is
+    {e unique}: the union of the tree paths between terminals. Linear
+    time, no search. *)
+
+open Graphs
+
+val solve : Ugraph.t -> terminals:Iset.t -> Tree.t option
+(** [None] when the graph restricted to the terminals' component is not
+    a tree (callers guard with {!Graphs.Cycles.is_acyclic}) or the
+    terminals are disconnected. *)

@@ -1,0 +1,35 @@
+open Graphs
+
+let eliminate g ~order ~p =
+  match Traverse.component_containing g p with
+  | None -> None
+  | Some comp ->
+    let order = order @ Iset.elements (Iset.diff comp (Iset.of_list order)) in
+    Some (Cover.eliminate_redundant ~order g ~within:comp ~p)
+
+let is_good_for g ~order ~p =
+  match eliminate g ~order ~p with
+  | None -> true
+  | Some survivors -> (
+    match Dreyfus_wagner.optimum_nodes g ~terminals:p with
+    | None -> true
+    | Some opt -> Iset.cardinal survivors = opt)
+
+let find_bad_set ?(max_terminals = 4) g ~order =
+  let n = Ugraph.n g in
+  let result = ref None in
+  let rec search chosen smallest size =
+    if !result <> None then ()
+    else begin
+      if size >= 2 && not (is_good_for g ~order ~p:chosen) then
+        result := Some chosen;
+      if !result = None && size < max_terminals then
+        for v = smallest + 1 to n - 1 do
+          if !result = None then search (Iset.add v chosen) v (size + 1)
+        done
+    end
+  in
+  search Iset.empty (-1) 0;
+  !result
+
+let is_good ?max_terminals g ~order = find_bad_set ?max_terminals g ~order = None

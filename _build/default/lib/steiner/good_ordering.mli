@@ -1,0 +1,28 @@
+(** Good orderings (Definition 11) and Theorem 6.
+
+    An ordering of a bipartite graph's nodes is {e good} when, for
+    every terminal set P, scanning it and deleting redundant nodes
+    yields a {e minimum} cover of P. Corollary 5: on (6,2)-chordal
+    graphs every ordering is good. Theorem 6: the (6,1)-chordal graph
+    of Fig. 11 has no good ordering at all. *)
+
+open Graphs
+
+val eliminate : Ugraph.t -> order:int list -> p:Iset.t -> Iset.t option
+(** Definition 11's process on the component of [p]: [None] when [p] is
+    not connected. *)
+
+val is_good_for : Ugraph.t -> order:int list -> p:Iset.t -> bool
+(** The elimination result is a minimum cover of [p] (checked against
+    the exact optimum; exponential in graph size via Dreyfus–Wagner on
+    the terminals). Vacuously true for disconnected [p]. *)
+
+val find_bad_set :
+  ?max_terminals:int -> Ugraph.t -> order:int list -> Iset.t option
+(** Search every terminal set up to the given size (default 4) for one
+    on which the ordering is not good. *)
+
+val is_good : ?max_terminals:int -> Ugraph.t -> order:int list -> bool
+(** No bad set up to the bound. (Definition 11 quantifies over all
+    terminal sets; for the graphs this repository feeds it, the small
+    witnesses are the ones the paper's proofs rely on.) *)

@@ -1,0 +1,57 @@
+open Graphs
+
+let remove_edges g banned =
+  List.fold_left (fun g (u, v) -> Ugraph.remove_edge g u v) g banned
+
+let canonical_edges tree =
+  List.sort_uniq compare
+    (List.map (fun (u, v) -> (min u v, max u v)) tree.Tree.edges)
+
+let enumerate ?(max_trees = 10) ?max_extra g ~terminals =
+  match Dreyfus_wagner.solve g ~terminals with
+  | None -> []
+  | Some first ->
+    let optimum = Tree.node_count first in
+    let cutoff =
+      match max_extra with Some e -> optimum + e | None -> max_int
+    in
+    (* Frontier of (cost, tree, banned edges), kept sorted by cost;
+       interactive instance sizes keep a plain sorted list ample. *)
+    let push frontier ((cost, _, _) as entry) =
+      let rec insert = function
+        | [] -> [ entry ]
+        | ((c, _, _) as x) :: rest when c <= cost -> x :: insert rest
+        | rest -> entry :: rest
+      in
+      insert frontier
+    in
+    let rec loop frontier emitted =
+      if List.length emitted >= max_trees then List.rev emitted
+      else
+        match frontier with
+        | [] -> List.rev emitted
+        | (cost, tree, banned) :: rest ->
+          if cost > cutoff then List.rev emitted
+          else begin
+            let key = canonical_edges tree in
+            let seen =
+              List.exists (fun t -> canonical_edges t = key) emitted
+            in
+            let frontier =
+              (* Branch even on duplicates: the same tree reached under
+                 different ban sets guards different parts of the
+                 solution space. *)
+              List.fold_left
+                  (fun acc e ->
+                    let banned' = e :: banned in
+                    match
+                      Dreyfus_wagner.solve (remove_edges g banned') ~terminals
+                    with
+                    | Some t -> push acc (Tree.node_count t, t, banned')
+                    | None -> acc)
+                  rest key
+            in
+            loop frontier (if seen then emitted else tree :: emitted)
+          end
+    in
+    loop [ (optimum, first, []) ] []

@@ -1,0 +1,25 @@
+(** Ranked enumeration of minimal connections — the engine behind the
+    paper's interactive disambiguation loop ("a good starting point of
+    an interactive procedure aimed at disambiguating the query by
+    progressively disclosing as few concepts as possible").
+
+    Solutions are {e trees} over the terminals, produced in
+    nondecreasing node count: when a tree is emitted, one subproblem
+    per tree edge is queued with that edge banned (and the parent's
+    bans kept), and each subproblem is solved exactly with
+    {!Dreyfus_wagner} on the edge-deleted graph. Every other tree lacks
+    at least one edge of an emitted tree, so the scheme is complete;
+    duplicates arising from overlapping subproblems are filtered by
+    edge set. Because each subproblem is solved optimally, emitted
+    trees never carry a dangling non-terminal leaf — each one is a
+    genuine alternative navigation. *)
+
+open Graphs
+
+val enumerate :
+  ?max_trees:int -> ?max_extra:int -> Ugraph.t -> terminals:Iset.t ->
+  Tree.t list
+(** At most [max_trees] (default 10) distinct trees, smallest first;
+    stops early once a candidate exceeds the optimum by more than
+    [max_extra] nodes (default: no bound). Empty when the terminals are
+    disconnected. *)

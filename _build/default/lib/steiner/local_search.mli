@@ -1,0 +1,16 @@
+(** A randomized local-search Steiner heuristic: the third baseline in
+    the quality benchmarks (exact DP, MST approximation, local search).
+
+    Starts from the MST approximation and repeatedly tries two moves:
+    drop a non-terminal node whose removal keeps the terminals
+    connected (shrinking to the terminal component), or swap a random
+    non-terminal out and reconnect through shortest paths. Improvements
+    are always accepted; the search is deterministic given the seed. *)
+
+open Graphs
+
+val solve :
+  ?iterations:int -> seed:int -> Ugraph.t -> terminals:Iset.t -> Tree.t option
+(** [None] when the terminals are disconnected; defaults to 200
+    iterations. The result is always a valid tree over the terminals,
+    never larger than the MST-approximation start. *)

@@ -1,0 +1,53 @@
+open Graphs
+
+let solve g ~terminals =
+  if Iset.cardinal terminals <= 1 then
+    Some { Tree.nodes = terminals; edges = [] }
+  else if not (Traverse.connects g terminals) then None
+  else begin
+    let terms = Array.of_list (Iset.elements terminals) in
+    let t = Array.length terms in
+    let dists = Array.map (fun s -> Traverse.bfs g s) terms in
+    (* Prim's algorithm on the terminal metric closure. *)
+    let in_tree = Array.make t false in
+    let best_dist = Array.make t max_int in
+    let best_from = Array.make t 0 in
+    in_tree.(0) <- true;
+    for j = 1 to t - 1 do
+      best_dist.(j) <- dists.(0).(terms.(j));
+      best_from.(j) <- 0
+    done;
+    let mst_edges = ref [] in
+    for _round = 1 to t - 1 do
+      let pick = ref (-1) in
+      for j = 0 to t - 1 do
+        if (not in_tree.(j))
+           && (!pick < 0 || best_dist.(j) < best_dist.(!pick))
+        then pick := j
+      done;
+      let j = !pick in
+      in_tree.(j) <- true;
+      mst_edges := (best_from.(j), j) :: !mst_edges;
+      for k = 0 to t - 1 do
+        if (not in_tree.(k)) && dists.(j).(terms.(k)) < best_dist.(k) then begin
+          best_dist.(k) <- dists.(j).(terms.(k));
+          best_from.(k) <- j
+        end
+      done
+    done;
+    (* Expand MST edges into shortest paths and collect the nodes. *)
+    let nodes = ref terminals in
+    List.iter
+      (fun (a, b) ->
+        match Traverse.shortest_path g terms.(a) terms.(b) with
+        | Some path -> List.iter (fun v -> nodes := Iset.add v !nodes) path
+        | None -> assert false)
+      !mst_edges;
+    match Tree.of_node_set g !nodes with
+    | None ->
+      (* Union of shortest paths is connected by construction. *)
+      assert false
+    | Some tree ->
+      let pruned = Tree.prune_leaves g ~keep:terminals tree in
+      Tree.of_node_set g pruned.Tree.nodes
+  end

@@ -1,0 +1,13 @@
+(** The classical 2-approximation for unweighted Steiner trees
+    (Kou–Markowsky–Berman style): build the metric closure of the
+    terminals, take its minimum spanning tree, expand each MST edge
+    into a shortest path, and prune.
+
+    This is the structure-oblivious baseline: on (6,2)-chordal inputs
+    it can return strictly more nodes than Algorithm 2, which is one of
+    the benchmark harness's headline comparisons. *)
+
+open Graphs
+
+val solve : Ugraph.t -> terminals:Iset.t -> Tree.t option
+(** [None] when the terminals do not share a component. *)

@@ -1,0 +1,59 @@
+open Graphs
+open Bipartite
+
+type theorem2_instance = {
+  graph : Bigraph.t;
+  terminals : Iset.t;
+  budget : int;
+}
+
+let theorem2 inst =
+  let k = Array.length inst.X3c.triples in
+  let n_elements = X3c.universe_size inst in
+  (* Left: triples. Right: index 0 is the universal node u2, element x
+     sits at right index 1 + x. *)
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    edges := (i, 0) :: !edges;
+    let a, b, c = inst.X3c.triples.(i) in
+    edges := (i, 1 + a) :: (i, 1 + b) :: (i, 1 + c) :: !edges
+  done;
+  let graph = Bigraph.of_edges ~nl:k ~nr:(1 + n_elements) !edges in
+  {
+    graph;
+    terminals = Bigraph.right_nodes graph;
+    budget = (4 * inst.X3c.q) + 1;
+  }
+
+let theorem2_gadget_ok t =
+  Side_properties.alpha_side t.graph Bigraph.V2
+
+let steiner_within_budget t =
+  match
+    Dreyfus_wagner.optimum_nodes (Bigraph.ugraph t.graph)
+      ~terminals:t.terminals
+  with
+  | None -> false
+  | Some opt -> opt <= t.budget
+
+let fig9 g =
+  let arcs = Ugraph.edges g in
+  let edges =
+    List.concat (List.mapi (fun j (u, v) -> [ (u, j); (v, j) ]) arcs)
+  in
+  Bigraph.of_edges ~nl:(Ugraph.n g) ~nr:(List.length arcs) edges
+
+let fig9_is_v2_chordal g = Side_properties.chordal (fig9 g) Bigraph.V2
+
+let cspc_optimum g ~terminals =
+  match Dreyfus_wagner.solve g ~terminals with
+  | None -> None
+  | Some t -> Some (List.length t.Tree.edges)
+
+let fig9_equivalence_holds g ~terminals =
+  let reduced = fig9 g in
+  (* Terminals live on V1 of the reduced graph, with identical ids. *)
+  match (cspc_optimum g ~terminals, Brute.v2_minimum reduced ~p:terminals) with
+  | None, None -> true
+  | Some a, Some (_, b) -> a = b
+  | Some _, None | None, Some _ -> false

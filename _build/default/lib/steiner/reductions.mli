@@ -1,0 +1,53 @@
+(** The paper's two NP-hardness reductions, built as executable
+    artifacts so the test suite can validate them end to end and the
+    benchmark harness can measure the exponential blow-up they
+    predict. *)
+
+open Graphs
+open Bipartite
+
+(** {1 Theorem 2: X3C → Steiner on V₂-chordal V₂-conformal graphs} *)
+
+type theorem2_instance = {
+  graph : Bigraph.t;
+      (** V₁ = one node per triple; V₂ = one node per element plus the
+          universal node [u²] (right index 0) *)
+  terminals : Iset.t;  (** all of V₂, as underlying indices *)
+  budget : int;  (** [4q + 1] *)
+}
+
+val theorem2 : X3c.instance -> theorem2_instance
+
+val theorem2_gadget_ok : theorem2_instance -> bool
+(** The gadget is V₂-chordal and V₂-conformal (H¹ α-acyclic), as the
+    proof claims. *)
+
+val steiner_within_budget : theorem2_instance -> bool
+(** Exact Steiner (Dreyfus–Wagner) finds a tree over the terminals with
+    at most [budget] nodes. By Theorem 2 this holds iff the X3C
+    instance is solvable. Exponential in [3q + 1] terminals. *)
+
+(** {1 Fig. 9: Steiner in chordal graphs → pseudo-Steiner w.r.t. V₂} *)
+
+val fig9 : Ugraph.t -> Bigraph.t
+(** Incidence bipartite graph: V₁ = the graph's nodes, V₂ = one node
+    per arc, adjacent to the arc's endpoints. V₁-side properties of the
+    result mirror chordality of the input; pseudo-Steiner w.r.t. V₂
+    over a node set equals the minimum number of arcs of a connected
+    subgraph over it (the CSPC problem of White–Farber–Pulleyblank). *)
+
+val fig9_is_v2_chordal : Ugraph.t -> bool
+(** The reduced graph is V₂-chordal whenever the input is chordal —
+    G(H¹) of the incidence graph is the input graph itself — while
+    V₂-conformity fails on any triangle: exactly the "chordality
+    without conformity" regime whose pseudo-Steiner problem the paper
+    proves NP-hard. *)
+
+val cspc_optimum : Ugraph.t -> terminals:Iset.t -> int option
+(** Minimum number of arcs of a connected subgraph over the terminals
+    (= exact Steiner edge count). *)
+
+val fig9_equivalence_holds : Ugraph.t -> terminals:Iset.t -> bool
+(** [cspc_optimum] on the input equals the brute-force pseudo-Steiner
+    V₂ optimum on the reduced graph. Exponential oracle; small inputs
+    only. *)

@@ -1,0 +1,151 @@
+open Graphs
+
+let inf = max_int / 4
+
+(* Node-weighted Dijkstra relaxation for one mask: entering node v
+   costs weight v. *)
+let relax g ~within ~weight dp how =
+  let n = Ugraph.n g in
+  let settled = Array.make n false in
+  let rec loop () =
+    (* Extract-min over unsettled nodes (O(n^2) total: ample here). *)
+    let best = ref (-1) in
+    Iset.iter
+      (fun v ->
+        if (not settled.(v)) && dp.(v) < inf
+           && (!best < 0 || dp.(v) < dp.(!best))
+        then best := v)
+      within;
+    if !best >= 0 then begin
+      let u = !best in
+      settled.(u) <- true;
+      Iset.iter
+        (fun v ->
+          let cost = dp.(u) + weight v in
+          if cost < dp.(v) then begin
+            dp.(v) <- cost;
+            how.(v) <- Some u
+          end)
+        (Ugraph.adj_within g ~within u);
+      loop ()
+    end
+  in
+  loop ()
+
+type choice = Leaf of int | Merge of int | Via of int
+
+let solve ?within g ~weight ~terminals =
+  let w = match within with Some w -> w | None -> Ugraph.nodes g in
+  Iset.iter
+    (fun v ->
+      if weight v < 0 then invalid_arg "Weighted.solve: negative weight")
+    w;
+  if not (Iset.subset terminals w) then None
+  else if Iset.is_empty terminals then Some (Tree.empty, 0)
+  else if Iset.cardinal terminals = 1 then
+    Some
+      ( { Tree.nodes = terminals; edges = [] },
+        weight (Iset.min_elt terminals) )
+  else if not (Traverse.connects ~within:w g terminals) then None
+  else begin
+    let terms = Array.of_list (Iset.elements terminals) in
+    let t = Array.length terms in
+    if t > Dreyfus_wagner.max_terminals then
+      invalid_arg "Weighted.solve: too many terminals";
+    let n = Ugraph.n g in
+    let full = (1 lsl t) - 1 in
+    let dp = Array.make_matrix (full + 1) n inf in
+    let how = Array.make_matrix (full + 1) n (Leaf (-1)) in
+    for i = 0 to t - 1 do
+      let mask = 1 lsl i in
+      dp.(mask).(terms.(i)) <- weight terms.(i);
+      how.(mask).(terms.(i)) <- Leaf i;
+      let pred = Array.make n None in
+      relax g ~within:w ~weight dp.(mask) pred;
+      Array.iteri
+        (fun v p ->
+          match p with Some u -> how.(mask).(v) <- Via u | None -> ())
+        pred
+    done;
+    let rec submasks m sub acc =
+      if sub = 0 then acc else submasks m ((sub - 1) land m) (sub :: acc)
+    in
+    for mask = 1 to full do
+      if mask land (mask - 1) <> 0 then begin
+        let low = mask land -mask in
+        let subs =
+          submasks mask mask []
+          |> List.filter (fun sub -> sub <> mask && sub land low <> 0)
+        in
+        Iset.iter
+          (fun v ->
+            List.iter
+              (fun sub ->
+                let a = dp.(sub).(v) and b = dp.(mask lxor sub).(v) in
+                if a < inf && b < inf then begin
+                  let cost = a + b - weight v in
+                  if cost < dp.(mask).(v) then begin
+                    dp.(mask).(v) <- cost;
+                    how.(mask).(v) <- Merge sub
+                  end
+                end)
+              subs)
+          w;
+        let pred = Array.make n None in
+        relax g ~within:w ~weight dp.(mask) pred;
+        Array.iteri
+          (fun v p ->
+            match p with Some u -> how.(mask).(v) <- Via u | None -> ())
+          pred
+      end
+    done;
+    let root = ref (-1) and best = ref inf in
+    Iset.iter
+      (fun v ->
+        if dp.(full).(v) < !best then begin
+          best := dp.(full).(v);
+          root := v
+        end)
+      w;
+    if !best >= inf then None
+    else begin
+      let nodes = ref Iset.empty in
+      let rec rebuild mask v =
+        nodes := Iset.add v !nodes;
+        match how.(mask).(v) with
+        | Leaf _ -> ()
+        | Via u -> rebuild mask u
+        | Merge sub ->
+          rebuild sub v;
+          rebuild (mask lxor sub) v
+      in
+      rebuild full !root;
+      (* The collected nodes form a connected cover of the terminals
+         whose total weight is at most the DP optimum; its spanning
+         tree realises the weighted optimum. *)
+      match Spanning.spanning_tree ~within:!nodes g with
+      | Some edges -> Some ({ Tree.nodes = !nodes; edges }, !best)
+      | None -> assert false
+    end
+  end
+
+let brute g ~weight ~terminals =
+  let optional = Iset.diff (Ugraph.nodes g) terminals in
+  if Iset.cardinal optional > 18 then invalid_arg "Weighted.brute: too large";
+  let elements = Array.of_list (Iset.elements optional) in
+  let k = Array.length elements in
+  let best = ref None in
+  for mask = 0 to (1 lsl k) - 1 do
+    let nodes = ref terminals in
+    for b = 0 to k - 1 do
+      if mask land (1 lsl b) <> 0 then nodes := Iset.add elements.(b) !nodes
+    done;
+    if Traverse.is_connected ~within:!nodes g && Iset.subset terminals !nodes
+    then begin
+      let cost = Iset.fold (fun v acc -> acc + weight v) !nodes 0 in
+      match !best with
+      | Some b when b <= cost -> ()
+      | _ -> best := Some cost
+    end
+  done;
+  if Iset.is_empty terminals then Some 0 else !best

@@ -1,0 +1,27 @@
+(** Node-weighted minimal connections.
+
+    The paper minimises the {e number} of auxiliary concepts; a natural
+    refinement weights each concept by a disclosure cost (how much a
+    casual user must understand to accept an interpretation) and
+    minimises total weight. This module adapts the Dreyfus–Wagner
+    dynamic program to node weights: [dp S v] is the cheapest total
+    node weight of a tree spanning [S ∪ {v}], with merge transitions
+    de-duplicating the shared root and grow transitions paying for path
+    interiors via a node-weighted Dijkstra.
+
+    With all weights 1 the optimum coincides with the unweighted
+    solver's node count (property-tested). *)
+
+open Graphs
+
+val solve :
+  ?within:Iset.t -> Ugraph.t -> weight:(int -> int) -> terminals:Iset.t ->
+  (Tree.t * int) option
+(** A minimum-total-weight tree over the terminals and its weight;
+    [None] when disconnected. Weights must be nonnegative (raises
+    [Invalid_argument] otherwise). Terminal count capped at
+    {!Dreyfus_wagner.max_terminals}. *)
+
+val brute : Ugraph.t -> weight:(int -> int) -> terminals:Iset.t -> int option
+(** Exhaustive oracle: minimum weight over all connected covers.
+    Exponential; tiny graphs only. *)

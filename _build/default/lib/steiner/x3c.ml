@@ -1,0 +1,74 @@
+type instance = { q : int; triples : (int * int * int) array }
+
+let make ~q triples =
+  if q < 0 then invalid_arg "X3c.make: negative q";
+  let n = 3 * q in
+  List.iter
+    (fun (a, b, c) ->
+      if a = b || b = c || a = c then
+        invalid_arg "X3c.make: triple with repeated element";
+      if a < 0 || a >= n || b < 0 || b >= n || c < 0 || c >= n then
+        invalid_arg "X3c.make: element out of range")
+    triples;
+  { q; triples = Array.of_list triples }
+
+let universe_size inst = 3 * inst.q
+
+let solve inst =
+  let n = universe_size inst in
+  let covered = Array.make n false in
+  let by_element = Array.make n [] in
+  Array.iteri
+    (fun i (a, b, c) ->
+      by_element.(a) <- i :: by_element.(a);
+      by_element.(b) <- i :: by_element.(b);
+      by_element.(c) <- i :: by_element.(c))
+    inst.triples;
+  let rec first_uncovered x = if x >= n || not covered.(x) then x else first_uncovered (x + 1) in
+  let rec search chosen x =
+    let x = first_uncovered x in
+    if x >= n then Some (List.rev chosen)
+    else
+      let try_triple acc i =
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let a, b, c = inst.triples.(i) in
+          if covered.(a) || covered.(b) || covered.(c) then None
+          else begin
+            covered.(a) <- true;
+            covered.(b) <- true;
+            covered.(c) <- true;
+            let r = search (i :: chosen) x in
+            covered.(a) <- false;
+            covered.(b) <- false;
+            covered.(c) <- false;
+            r
+          end
+      in
+      List.fold_left try_triple None by_element.(x)
+  in
+  search [] 0
+
+let verify inst chosen =
+  let n = universe_size inst in
+  let count = Array.make n 0 in
+  let valid_index i = i >= 0 && i < Array.length inst.triples in
+  List.for_all valid_index chosen
+  && begin
+       List.iter
+         (fun i ->
+           let a, b, c = inst.triples.(i) in
+           count.(a) <- count.(a) + 1;
+           count.(b) <- count.(b) + 1;
+           count.(c) <- count.(c) + 1)
+         chosen;
+       Array.for_all (fun k -> k = 1) count
+     end
+
+let pp ppf inst =
+  Format.fprintf ppf "@[<v>X3C: |X| = %d@," (universe_size inst);
+  Array.iteri
+    (fun i (a, b, c) -> Format.fprintf ppf "  c%d = {%d, %d, %d}@," i a b c)
+    inst.triples;
+  Format.fprintf ppf "@]"

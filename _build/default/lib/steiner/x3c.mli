@@ -1,0 +1,26 @@
+(** Exact Cover by 3-Sets (X3C), the NP-complete problem behind the
+    paper's Theorem 2 reduction.
+
+    An instance is a universe of [3q] elements and a collection of
+    3-element subsets; the question is whether some subcollection
+    covers every element exactly once. *)
+
+type instance = {
+  q : int;  (** universe size is [3 * q] *)
+  triples : (int * int * int) array;
+}
+
+val make : q:int -> (int * int * int) list -> instance
+(** Validates ranges and that each triple has three distinct
+    elements. *)
+
+val universe_size : instance -> int
+
+val solve : instance -> int list option
+(** Indices of the triples of an exact cover, via depth-first search on
+    the first uncovered element (fast in practice on the sizes used
+    here; exponential worst case, as it must be). *)
+
+val verify : instance -> int list -> bool
+
+val pp : Format.formatter -> instance -> unit

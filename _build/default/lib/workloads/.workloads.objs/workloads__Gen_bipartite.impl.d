@@ -1,0 +1,1 @@
+lib/workloads/gen_bipartite.ml: Bigraph Bipartite Correspond Gen_graph Gen_hyper Graphs Iset List Rng Traverse

@@ -1,0 +1,1 @@
+lib/workloads/gen_bipartite.mli: Bigraph Bipartite Graphs Iset Rng

@@ -1,0 +1,1 @@
+lib/workloads/gen_db.ml: Array Database Gen_hyper Graphs Hypergraphs List Printf Relalg Relation Rng

@@ -1,0 +1,1 @@
+lib/workloads/gen_db.mli: Database Hypergraphs Relalg Rng

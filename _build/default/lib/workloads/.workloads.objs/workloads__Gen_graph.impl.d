@@ -1,0 +1,1 @@
+lib/workloads/gen_graph.ml: Graphs Iset List Rng Ugraph

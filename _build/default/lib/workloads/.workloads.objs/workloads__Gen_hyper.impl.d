@@ -1,0 +1,1 @@
+lib/workloads/gen_hyper.ml: Array Graphs Hypergraph Hypergraphs Iset List Rng

@@ -1,0 +1,1 @@
+lib/workloads/gen_hyper.mli: Hypergraph Hypergraphs Rng

@@ -1,0 +1,1 @@
+lib/workloads/gen_x3c.ml: List Rng Steiner X3c

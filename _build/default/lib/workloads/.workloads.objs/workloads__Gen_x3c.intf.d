@@ -1,0 +1,1 @@
+lib/workloads/gen_x3c.mli: Rng Steiner X3c

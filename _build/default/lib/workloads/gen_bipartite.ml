@@ -1,0 +1,37 @@
+open Graphs
+open Bipartite
+
+let gnp rng ~nl ~nr ~p =
+  let edges = ref [] in
+  for i = 0 to nl - 1 do
+    for j = 0 to nr - 1 do
+      if Rng.bool rng p then edges := (i, j) :: !edges
+    done
+  done;
+  Bigraph.of_edges ~nl ~nr !edges
+
+let forest rng ~n =
+  let tree = Gen_graph.random_tree rng ~n in
+  match Bigraph.of_ugraph tree with
+  | Some (g, _) -> g
+  | None -> assert false (* trees are bipartite *)
+
+let chordal_62 rng ~n_right ~max_size =
+  Correspond.of_hypergraph (Gen_hyper.gamma_acyclic rng ~n_edges:n_right ~max_size)
+
+let alpha_bipartite rng ~n_right ~max_size =
+  Correspond.of_hypergraph (Gen_hyper.alpha_acyclic rng ~n_edges:n_right ~max_size)
+
+let chordal_61_flower rng ~petals =
+  Correspond.of_hypergraph (Gen_hyper.beta_flower rng ~petals)
+
+let random_terminals rng g ~k =
+  let u = Bigraph.ugraph g in
+  let components = Traverse.components u in
+  let largest =
+    List.fold_left
+      (fun best c ->
+        if Iset.cardinal c > Iset.cardinal best then c else best)
+      Iset.empty components
+  in
+  Iset.of_list (Rng.sample rng k (Iset.elements largest))

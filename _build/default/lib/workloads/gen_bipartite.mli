@@ -1,0 +1,28 @@
+(** Random bipartite-graph workloads, including generators landing in
+    each chordality class of the paper (via the Theorem 1
+    correspondence: the incidence graph of a D-acyclic hypergraph is
+    exactly a bipartite graph whose H¹ is that hypergraph). *)
+
+open Graphs
+open Bipartite
+
+val gnp : Rng.t -> nl:int -> nr:int -> p:float -> Bigraph.t
+
+val forest : Rng.t -> n:int -> Bigraph.t
+(** A random tree on [n] nodes, 2-coloured: a (4,1)-chordal graph. *)
+
+val chordal_62 : Rng.t -> n_right:int -> max_size:int -> Bigraph.t
+(** (6,2)-chordal: incidence graph of a random γ-acyclic hypergraph
+    with [n_right] hyperedges. *)
+
+val alpha_bipartite : Rng.t -> n_right:int -> max_size:int -> Bigraph.t
+(** V₂-chordal V₂-conformal: incidence graph of a random α-acyclic
+    hypergraph. *)
+
+val chordal_61_flower : Rng.t -> petals:int -> Bigraph.t
+(** (6,1)- but not (6,2)-chordal (the β-flower family). *)
+
+val random_terminals : Rng.t -> Bigraph.t -> k:int -> Iset.t
+(** [k] distinct nodes (underlying indices) from the largest connected
+    component, so Steiner instances are feasible. Returns fewer when
+    the component is smaller than [k]. *)

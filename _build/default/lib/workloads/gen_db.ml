@@ -1,0 +1,32 @@
+open Relalg
+
+let over_hypergraph rng h ~rows ~domain =
+  let attr i = Printf.sprintf "a%d" i in
+  let rels =
+    Array.to_list (Hypergraphs.Hypergraph.edges h)
+    |> List.mapi (fun j e ->
+           let attrs = List.map attr (Graphs.Iset.elements e) in
+           let row _ =
+             List.map (fun _ -> string_of_int (Rng.int rng (max 1 domain))) attrs
+           in
+           (Printf.sprintf "r%d" j, Relation.make ~attrs (List.init rows row)))
+  in
+  Database.make rels
+
+let acyclic rng ~n_relations ~rows =
+  let h = Gen_hyper.alpha_acyclic rng ~n_edges:n_relations ~max_size:4 in
+  over_hypergraph rng h ~rows ~domain:(max 2 (rows / 3))
+
+let chain rng ~length ~rows ~domain =
+  let rels =
+    List.init length (fun j ->
+        let a = Printf.sprintf "a%d" j and b = Printf.sprintf "a%d" (j + 1) in
+        let row _ =
+          [
+            string_of_int (Rng.int rng (max 1 domain));
+            string_of_int (Rng.int rng (max 1 domain));
+          ]
+        in
+        (Printf.sprintf "r%d" j, Relation.make ~attrs:[ a; b ] (List.init rows row)))
+  in
+  Database.make rels

@@ -1,0 +1,16 @@
+(** Random populated databases over generated schemes, for the
+    relational-engine experiments. *)
+
+open Relalg
+
+val over_hypergraph :
+  Rng.t -> Hypergraphs.Hypergraph.t -> rows:int -> domain:int -> Database.t
+(** One relation per hyperedge (named [r0], [r1], ...), attributes
+    named [a<i>] after the node ids, [rows] random tuples per relation
+    with values drawn from a [domain]-sized dictionary. *)
+
+val acyclic : Rng.t -> n_relations:int -> rows:int -> Database.t
+(** Random α-acyclic schema with data. *)
+
+val chain : Rng.t -> length:int -> rows:int -> domain:int -> Database.t
+(** The classic path schema r_i(a_i, a_(i+1)). *)

@@ -1,0 +1,61 @@
+type er_spec = {
+  entities : (string * string list) list;
+  relationships : (string * string list * string list) list;
+}
+
+let er_spec rng ~n_entities ~n_relationships ~attrs_per =
+  if n_entities < 1 then invalid_arg "Gen_er.er_spec: need entities";
+  let entities =
+    List.init n_entities (fun i ->
+        ( Printf.sprintf "ent%d" i,
+          List.init (max 1 attrs_per) (fun j -> Printf.sprintf "attr%d_%d" i j)
+        ))
+  in
+  let entity_names = List.map fst entities in
+  let relationships =
+    List.init n_relationships (fun r ->
+        let a = Rng.pick rng entity_names in
+        let b =
+          if n_entities = 1 then a
+          else
+            let rec other () =
+              let c = Rng.pick rng entity_names in
+              if c = a then other () else c
+            in
+            other ()
+        in
+        let participants = if a = b then [ a ] else [ a; b ] in
+        let own_attrs =
+          if Rng.bool rng 0.5 then [ Printf.sprintf "rattr%d" r ] else []
+        in
+        (Printf.sprintf "rel%d" r, participants, own_attrs))
+  in
+  { entities; relationships }
+
+type layered_spec = {
+  levels : string list list;
+  definitions : (string * string list) list;
+}
+
+let layered_spec rng ~n_levels ~width ~fanin =
+  if n_levels < 1 || width < 1 then invalid_arg "Gen_er.layered_spec";
+  let name l i = Printf.sprintf "o%d_%d" l i in
+  let level_sizes =
+    List.init n_levels (fun l -> if l = 0 then width else 1 + Rng.int rng width)
+  in
+  let levels =
+    List.mapi (fun l size -> List.init size (fun i -> name l i)) level_sizes
+  in
+  let definitions =
+    List.concat
+      (List.mapi
+         (fun l size ->
+           if l = 0 then []
+           else
+             let below = List.nth levels (l - 1) in
+             List.init size (fun i ->
+                 let k = 1 + Rng.int rng (max 1 fanin) in
+                 (name l i, Rng.sample rng k below)))
+         level_sizes)
+  in
+  { levels; definitions }

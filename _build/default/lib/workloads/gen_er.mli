@@ -1,0 +1,27 @@
+(** Random entity–relationship schemes and layered hierarchies for the
+    data-model experiments. (This module sits in a separate library
+    from [Datamodel], so it returns raw building blocks the caller
+    feeds to [Datamodel.Er.make] / [Datamodel.Layered.make].) *)
+
+type er_spec = {
+  entities : (string * string list) list;
+  relationships : (string * string list * string list) list;
+}
+
+val er_spec :
+  Rng.t -> n_entities:int -> n_relationships:int -> attrs_per:int -> er_spec
+(** Entities [e0..], each with its own [attrs_per] attributes; each
+    relationship joins two distinct random entities and may carry one
+    attribute of its own. Guaranteed well-formed input for
+    [Datamodel.Er.make]. *)
+
+type layered_spec = {
+  levels : string list list;
+  definitions : (string * string list) list;
+}
+
+val layered_spec :
+  Rng.t -> n_levels:int -> width:int -> fanin:int -> layered_spec
+(** [n_levels >= 1] levels of up to [width] objects; each non-base
+    object is defined by [1..fanin] objects of the level below.
+    Guaranteed well-formed input for [Datamodel.Layered.make]. *)

@@ -1,0 +1,56 @@
+open Graphs
+
+let gnp rng ~n ~p =
+  let b = Ugraph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bool rng p then Ugraph.Builder.add_edge b u v
+    done
+  done;
+  Ugraph.Builder.build b
+
+let random_tree rng ~n =
+  let b = Ugraph.Builder.create n in
+  for v = 1 to n - 1 do
+    Ugraph.Builder.add_edge b v (Rng.int rng v)
+  done;
+  Ugraph.Builder.build b
+
+let random_chordal rng ~n ~max_clique =
+  if n <= 0 then Ugraph.create (max n 0)
+  else begin
+    let g = ref (Ugraph.create n) in
+    for v = 1 to n - 1 do
+      (* Grow a clique greedily from a random seed among the processed
+         prefix, then attach v to all of it. *)
+      let seed = Rng.int rng v in
+      let clique = ref (Iset.singleton seed) in
+      let candidates =
+        Rng.shuffle rng (Iset.elements (Ugraph.neighbors !g seed))
+      in
+      List.iter
+        (fun u ->
+          if u < v
+             && Iset.cardinal !clique < max_clique - 1
+             && Iset.for_all (fun w -> Ugraph.mem_edge !g u w) !clique
+             && Rng.bool rng 0.7
+          then clique := Iset.add u !clique)
+        candidates;
+      Iset.iter (fun u -> g := Ugraph.add_edge !g v u) !clique
+    done;
+    !g
+  end
+
+let random_connected rng ~n ~extra_edges =
+  let g = ref (random_tree rng ~n) in
+  if n >= 2 then
+    for _ = 1 to extra_edges do
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v then g := Ugraph.add_edge !g u v
+    done;
+  !g
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen_graph.cycle: need n >= 3";
+  Ugraph.of_edges ~n
+    ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))

@@ -1,0 +1,21 @@
+(** Random ordinary-graph workloads. *)
+
+open Graphs
+
+val gnp : Rng.t -> n:int -> p:float -> Ugraph.t
+(** Erdős–Rényi. *)
+
+val random_tree : Rng.t -> n:int -> Ugraph.t
+(** Uniform-ish random tree: each node attaches to a random earlier
+    node. *)
+
+val random_chordal : Rng.t -> n:int -> max_clique:int -> Ugraph.t
+(** Chordal by construction: every node is simplicial at insertion time
+    (it attaches to a random clique of the prefix graph of size at most
+    [max_clique - 1]). *)
+
+val random_connected : Rng.t -> n:int -> extra_edges:int -> Ugraph.t
+(** Random tree plus [extra_edges] random chords. *)
+
+val cycle : int -> Ugraph.t
+(** The n-cycle ([n >= 3]). *)

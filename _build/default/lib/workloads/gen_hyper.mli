@@ -1,0 +1,29 @@
+(** Random hypergraph workloads, including constructive generators for
+    each acyclicity degree (used both by property tests — "generated
+    γ-acyclic instances really are γ-acyclic per the definitional
+    oracles" — and by the scaling benchmarks). *)
+
+open Hypergraphs
+
+val random : Rng.t -> n_nodes:int -> n_edges:int -> max_size:int -> Hypergraph.t
+(** Arbitrary random family (any degree, usually cyclic). Every edge is
+    nonempty; nodes may be uncovered. *)
+
+val alpha_acyclic : Rng.t -> n_edges:int -> max_size:int -> Hypergraph.t
+(** Built along a join tree: each new edge takes a random nonempty
+    subset of a random earlier edge plus fresh private nodes, so the
+    construction order satisfies the running intersection property. *)
+
+val gamma_acyclic : Rng.t -> n_edges:int -> max_size:int -> Hypergraph.t
+(** Join-tree construction with pairwise-disjoint separators drawn from
+    the parents' private pools: non-adjacent edges are disjoint, hence
+    no Berge cycle on 3+ edges and no special 3-cycle — γ-acyclic, but
+    (for separators of size ≥ 2) not Berge-acyclic. *)
+
+val berge_acyclic : Rng.t -> n_edges:int -> max_size:int -> Hypergraph.t
+(** γ-construction restricted to singleton separators: the incidence
+    graph is a tree. *)
+
+val beta_flower : Rng.t -> petals:int -> Hypergraph.t
+(** A β-acyclic but γ-cyclic family generalising the paper's Fig. 4(c):
+    petal edges [{hub, xi}] plus covering edges [{hub, xi, xi+1}]. *)

@@ -1,0 +1,34 @@
+open Steiner
+
+let random_triple rng n =
+  let rec distinct () =
+    let a = Rng.int rng n and b = Rng.int rng n and c = Rng.int rng n in
+    if a <> b && b <> c && a <> c then (a, b, c) else distinct ()
+  in
+  distinct ()
+
+let planted rng ~q ~distractors =
+  if q < 1 then invalid_arg "Gen_x3c.planted: need q >= 1";
+  let n = 3 * q in
+  let perm = Rng.shuffle rng (List.init n (fun i -> i)) in
+  let rec chunk = function
+    | a :: b :: c :: rest -> (a, b, c) :: chunk rest
+    | [] -> []
+    | _ -> assert false
+  in
+  let hidden = chunk perm in
+  let extra = List.init distractors (fun _ -> random_triple rng n) in
+  X3c.make ~q (Rng.shuffle rng (hidden @ extra))
+
+let unsolvable_pair rng ~q ~distractors =
+  if q < 1 then invalid_arg "Gen_x3c.unsolvable_pair: need q >= 1";
+  let n = 3 * q in
+  let missing = Rng.int rng n in
+  let rec triple_avoiding () =
+    let t = random_triple rng n in
+    let a, b, c = t in
+    if a = missing || b = missing || c = missing then triple_avoiding ()
+    else t
+  in
+  let triples = List.init (max 1 (q + distractors)) (fun _ -> triple_avoiding ()) in
+  X3c.make ~q triples

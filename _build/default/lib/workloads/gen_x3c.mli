@@ -1,0 +1,11 @@
+(** Random X3C instances for the Theorem 2 reduction experiments. *)
+
+open Steiner
+
+val planted : Rng.t -> q:int -> distractors:int -> X3c.instance
+(** Solvable by construction: a hidden partition of the universe into
+    [q] triples plus [distractors] random further triples, shuffled. *)
+
+val unsolvable_pair : Rng.t -> q:int -> distractors:int -> X3c.instance
+(** An instance built to be unsolvable: one universe element appears in
+    no triple. *)

@@ -1,0 +1,35 @@
+type t = Random.State.t
+
+let make ~seed = Random.State.make [| seed; 0x6d696e63; 0x6f6e6e |]
+
+let int t bound =
+  if bound < 1 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+
+let bool t p = Random.State.float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample t k l =
+  let shuffled = shuffle t l in
+  List.filteri (fun i _ -> i < k) shuffled
+
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]

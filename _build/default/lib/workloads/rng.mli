@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random source for workload generation.
+
+    A thin wrapper over [Random.State] so that every generator takes an
+    explicit seed and experiments are reproducible run to run. *)
+
+type t
+
+val make : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound); [bound >= 1]. *)
+
+val float : t -> float -> float
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a nonempty list. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k l]: [k] distinct elements (all of [l] when [k >=
+    length]). *)
+
+val split : t -> t
+(** An independent stream (for nested generators). *)

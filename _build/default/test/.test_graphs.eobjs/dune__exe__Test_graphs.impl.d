@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Chordal Cliques Cycles Dot Graphs Iset Lexbfs List QCheck2 QCheck_alcotest Spanning String Strongly_chordal Traverse Ugraph Workloads

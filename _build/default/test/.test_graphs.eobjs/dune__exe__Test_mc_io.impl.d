@@ -1,0 +1,1 @@
+test/test_mc_io.ml: Alcotest Array Bipartite Datamodel Format Graphs Hypergraphs Iset List Mc_io Relalg String

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Database Graphs Gyo Hypergraph Hypergraphs Join_tree List Ops Printf QCheck2 QCheck_alcotest Relalg Relation Workloads Yannakakis

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bipartite Datamodel Graphs Hypergraphs Iset List Relalg Steiner Traverse Ugraph Workloads

@@ -1,0 +1,280 @@
+(* Tests for the bipartite layer: the Definition 2 correspondence and,
+   crucially, the Theorem 1 equivalences checked on random graphs by
+   comparing the hypergraph-side fast recognisers against literal
+   brute-force readings of Definitions 4 and 5. *)
+
+open Graphs
+open Hypergraphs
+open Bipartite
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_bipartite_gen =
+  QCheck2.Gen.(
+    tup3 (int_range 1 5) (int_range 1 4) (int_range 0 100000)
+    |> map (fun (nl, nr, seed) ->
+           let rng = Workloads.Rng.make ~seed in
+           Workloads.Gen_bipartite.gnp rng ~nl ~nr ~p:0.5))
+
+(* Reject graphs with isolated right nodes: Definition 2's hypergraph
+   is only defined there, and the paper's schemes never have empty
+   relations. *)
+let no_isolated_right g =
+  List.for_all
+    (fun j -> not (Iset.is_empty (Bigraph.left_neighbors g j)))
+    (List.init (Bigraph.nr g) (fun j -> j))
+
+(* ----------------------------------------------------------- Bigraph *)
+
+let test_bigraph_basics () =
+  let g = Bigraph.of_edges ~nl:2 ~nr:3 [ (0, 0); (0, 1); (1, 2) ] in
+  check_int "nl" 2 (Bigraph.nl g);
+  check_int "nr" 3 (Bigraph.nr g);
+  check_int "m" 3 (Bigraph.m g);
+  check "mem" true (Bigraph.mem_edge g 0 1);
+  check "right neighbors of left 0" true
+    (Iset.equal (Bigraph.right_neighbors g 0) (Iset.of_list [ 0; 1 ]));
+  check "left neighbors of right 2" true
+    (Iset.equal (Bigraph.left_neighbors g 2) (Iset.singleton 1));
+  check "index round trip" true
+    (Bigraph.node_of_index g (Bigraph.index g (Bigraph.R 1)) = Bigraph.R 1)
+
+let test_flip () =
+  let g = Bigraph.of_edges ~nl:2 ~nr:3 [ (0, 0); (1, 2) ] in
+  let f = Bigraph.flip g in
+  check_int "flip nl" 3 (Bigraph.nl f);
+  check_int "flip nr" 2 (Bigraph.nr f);
+  check "edges flipped" true (Bigraph.mem_edge f 0 0 && Bigraph.mem_edge f 2 1);
+  check "double flip is identity" true (Bigraph.equal g (Bigraph.flip f))
+
+let test_of_ugraph () =
+  let c4 = Workloads.Gen_graph.cycle 4 in
+  (match Bigraph.of_ugraph c4 with
+  | Some (g, _) ->
+    check_int "C4 splits 2+2" 2 (Bigraph.nl g);
+    check_int "edges preserved" 4 (Bigraph.m g)
+  | None -> Alcotest.fail "C4 is bipartite");
+  check "odd cycle rejected" true
+    (Bigraph.of_ugraph (Workloads.Gen_graph.cycle 5) = None)
+
+(* -------------------------------------------------------- Correspond *)
+
+let test_h1_h2 () =
+  let g = Datamodel.Figures.fig2.Datamodel.Figures.graph in
+  let h1 = Correspond.h1_exn g in
+  check_int "H1 nodes = |V1|" (Bigraph.nl g) (Hypergraph.n_nodes h1);
+  check_int "H1 edges = |V2|" (Bigraph.nr g) (Hypergraph.n_edges h1);
+  check "round trip" true (Correspond.round_trip_h1 g);
+  let g_iso = Bigraph.of_edges ~nl:1 ~nr:2 [ (0, 0) ] in
+  check "isolated right node raises" true
+    (try
+       ignore (Correspond.h1_exn g_iso);
+       false
+     with Invalid_argument _ -> true);
+  let h, mapping = Correspond.h1 g_iso in
+  check_int "lenient h1 drops it" 1 (Hypergraph.n_edges h);
+  check "mapping points at the surviving right node" true (mapping = [| 0 |])
+
+(* ------------------------------------------------- Theorem 1, fixed *)
+
+let test_41_is_forest () =
+  let tree = Workloads.Gen_bipartite.forest (Workloads.Rng.make ~seed:3) ~n:12 in
+  check "random tree is (4,1)-chordal" true (Mn_chordality.is_41_chordal tree);
+  check "its H1 is Berge-acyclic" true
+    (Berge.acyclic (fst (Correspond.h1 tree)))
+
+let test_61_three_ways () =
+  let cases =
+    [
+      Datamodel.Figures.fig3a.Datamodel.Figures.graph;
+      Datamodel.Figures.fig3b.Datamodel.Figures.graph;
+      Datamodel.Figures.fig3c.Datamodel.Figures.graph;
+      Datamodel.Figures.fig5.Datamodel.Figures.graph;
+      Datamodel.Figures.fig10.Datamodel.Figures.graph;
+      Datamodel.Figures.fig11.Datamodel.Figures.graph;
+    ]
+  in
+  List.iter
+    (fun g ->
+      let a = Mn_chordality.is_61_chordal g in
+      let b = Mn_chordality.is_61_chordal_bisimplicial g in
+      let c = Mn_chordality.is_mn_chordal_brute g ~m:6 ~n:1 in
+      let d = Doubly_lex.is_61_chordal_doubly_lex g in
+      check "beta = bisimplicial = brute = doubly-lex" true
+        (a = b && b = c && c = d))
+    cases
+
+(* ---------------------------------------------------------- Classify *)
+
+let test_profile_fig3b () =
+  let p = Classify.profile Datamodel.Figures.fig3b.Datamodel.Figures.graph in
+  check "62" true p.Classify.chordal_62;
+  check "61 follows" true p.Classify.chordal_61;
+  check "not 41" false p.Classify.chordal_41;
+  check "consistent" true (Classify.theorem1_consistent p);
+  check "recommend Algorithm 2" true
+    (Classify.recommend p = Classify.Steiner_polynomial)
+
+let test_profile_fig2 () =
+  let p = Classify.profile Datamodel.Figures.fig2.Datamodel.Figures.graph in
+  check "alpha_h1" true p.Classify.alpha_h1;
+  check "not alpha_h2" false p.Classify.alpha_h2;
+  check "recommend pseudo-Steiner V2" true
+    (Classify.recommend p = Classify.Pseudo_steiner_v2)
+
+let test_profile_gnp_cyclic () =
+  let rng = Workloads.Rng.make ~seed:99 in
+  (* Dense bipartite graphs are essentially never alpha-acyclic on
+     either side; find one such and check the fallback. *)
+  let rec find tries =
+    if tries = 0 then None
+    else
+      let g = Workloads.Gen_bipartite.gnp rng ~nl:6 ~nr:6 ~p:0.5 in
+      let p = Classify.profile g in
+      if Classify.recommend p = Classify.Exact_search_only then Some p
+      else find (tries - 1)
+  in
+  match find 50 with
+  | Some p -> check "consistent profile" true (Classify.theorem1_consistent p)
+  | None -> Alcotest.fail "expected some unstructured graph"
+
+(* ------------------------------------------------------- properties *)
+
+let qcheck_cases =
+  [
+    QCheck2.Test.make ~count:250
+      ~name:"Theorem 1(i): (4,1)-brute = forest = Berge(H1)"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        let brute = Mn_chordality.is_mn_chordal_brute g ~m:4 ~n:1 in
+        brute = Mn_chordality.is_41_chordal g
+        && brute = Berge.acyclic (Correspond.h1_exn g));
+    QCheck2.Test.make ~count:250
+      ~name:"Theorem 1(ii): (6,2)-brute = gamma(H1)" small_bipartite_gen
+      (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        Mn_chordality.is_mn_chordal_brute g ~m:6 ~n:2
+        = Gamma.acyclic (Correspond.h1_exn g));
+    QCheck2.Test.make ~count:250
+      ~name:"Theorem 1(iii): (6,1)-brute = beta(H1)" small_bipartite_gen
+      (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        Mn_chordality.is_mn_chordal_brute g ~m:6 ~n:1
+        = Beta.acyclic (Correspond.h1_exn g));
+    QCheck2.Test.make ~count:250
+      ~name:"doubly lexical ordering converges and verifies"
+      small_bipartite_gen (fun g ->
+        let o = Doubly_lex.ordering g in
+        o.Doubly_lex.converged
+        && Doubly_lex.is_doubly_lexical g ~rows:o.Doubly_lex.rows
+             ~cols:o.Doubly_lex.cols);
+    QCheck2.Test.make ~count:250
+      ~name:"(6,1) via doubly lexical / gamma-free matrix agrees"
+      small_bipartite_gen (fun g ->
+        Doubly_lex.is_61_chordal_doubly_lex g
+        = Mn_chordality.is_mn_chordal_brute g ~m:6 ~n:1);
+    QCheck2.Test.make ~count:250
+      ~name:"(6,1) via bisimplicial elimination agrees" small_bipartite_gen
+      (fun g ->
+        Mn_chordality.is_61_chordal_bisimplicial g
+        = Mn_chordality.is_mn_chordal_brute g ~m:6 ~n:1);
+    QCheck2.Test.make ~count:200
+      ~name:"Definition 5 chordality brute = 2-section chordality"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        Side_properties.chordal_brute g Bigraph.V2
+        = Side_properties.chordal g Bigraph.V2);
+    QCheck2.Test.make ~count:200
+      ~name:"Definition 5 conformity brute = Gilmore on H1"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        Side_properties.conformal_brute g Bigraph.V2
+        = Side_properties.conformal g Bigraph.V2);
+    QCheck2.Test.make ~count:150
+      ~name:"Definition 5 brute checks agree on the V1 side too"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume
+          (List.for_all
+             (fun i -> not (Iset.is_empty (Bigraph.right_neighbors g i)))
+             (List.init (Bigraph.nl g) (fun i -> i)));
+        Side_properties.chordal_brute g Bigraph.V1
+        = Side_properties.chordal g Bigraph.V1
+        && Side_properties.conformal_brute g Bigraph.V1
+           = Side_properties.conformal g Bigraph.V1);
+    QCheck2.Test.make ~count:200
+      ~name:"Theorem 1(v): V2-chordal + V2-conformal = alpha(H1)"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        (Side_properties.chordal g Bigraph.V2
+        && Side_properties.conformal g Bigraph.V2)
+        = Gyo.alpha_acyclic (Correspond.h1_exn g));
+    QCheck2.Test.make ~count:200
+      ~name:"Theorem 1(iv): same statements through H2 on the flip"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        let flipped = Bigraph.flip g in
+        QCheck2.assume
+          (List.for_all
+             (fun j -> not (Iset.is_empty (Bigraph.left_neighbors flipped j)))
+             (List.init (Bigraph.nr flipped) (fun j -> j)));
+        let h2 = Correspond.h2_exn g in
+        Beta.acyclic h2 = Mn_chordality.is_mn_chordal_brute flipped ~m:6 ~n:1
+        && Gamma.acyclic h2
+           = Mn_chordality.is_mn_chordal_brute flipped ~m:6 ~n:2);
+    QCheck2.Test.make ~count:200
+      ~name:"H2 is the dual of H1 (Definition 3)" small_bipartite_gen
+      (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        (* Isolated left nodes would make H1 not cover its universe;
+           dual then shrinks. Skip those. *)
+        QCheck2.assume
+          (List.for_all
+             (fun i -> not (Iset.is_empty (Bigraph.right_neighbors g i)))
+             (List.init (Bigraph.nl g) (fun i -> i)));
+        Hypergraph.equal_modulo_order (Correspond.h2_exn g)
+          (Hypergraph.dual (Correspond.h1_exn g)));
+    QCheck2.Test.make ~count:150
+      ~name:"Corollary 2: (6,1)-chordal => both sides chordal+conformal"
+      small_bipartite_gen (fun g ->
+        QCheck2.assume (no_isolated_right g);
+        QCheck2.assume (Mn_chordality.is_61_chordal g);
+        Side_properties.alpha_side g Bigraph.V1
+        && Side_properties.alpha_side g Bigraph.V2);
+    QCheck2.Test.make ~count:150 ~name:"full profile is Theorem-1 consistent"
+      small_bipartite_gen (fun g ->
+        Classify.theorem1_consistent (Classify.profile g));
+    QCheck2.Test.make ~count:150
+      ~name:"generated (6,2) bipartite instances are (6,2)"
+      QCheck2.Gen.(int_range 0 5000)
+      (fun seed ->
+        let rng = Workloads.Rng.make ~seed in
+        let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right:5 ~max_size:3 in
+        Mn_chordality.is_62_chordal g
+        && Mn_chordality.is_mn_chordal_brute g ~m:6 ~n:2);
+  ]
+
+let () =
+  Alcotest.run "bipartite"
+    [
+      ( "bigraph",
+        [
+          Alcotest.test_case "basics" `Quick test_bigraph_basics;
+          Alcotest.test_case "flip" `Quick test_flip;
+          Alcotest.test_case "of_ugraph" `Quick test_of_ugraph;
+        ] );
+      ("correspond", [ Alcotest.test_case "h1/h2" `Quick test_h1_h2 ]);
+      ( "theorem1-fixed",
+        [
+          Alcotest.test_case "(4,1) forest" `Quick test_41_is_forest;
+          Alcotest.test_case "(6,1) three ways" `Quick test_61_three_ways;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "fig3b profile" `Quick test_profile_fig3b;
+          Alcotest.test_case "fig2 profile" `Quick test_profile_fig2;
+          Alcotest.test_case "unstructured fallback" `Quick
+            test_profile_gnp_cyclic;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]

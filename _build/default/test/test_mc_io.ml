@@ -1,0 +1,198 @@
+(* Tests for the text formats. *)
+
+open Graphs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample_graph = {|
+# a comment
+bipartite
+left  A B C
+right r1 r2
+edge  A r1
+edge  B r1   # trailing comment
+edge  B r2
+edge  C r2
+|}
+
+let test_parse_bigraph () =
+  match Mc_io.Parse.bigraph_of_string sample_graph with
+  | Ok nb ->
+    check_int "left" 3 (Array.length nb.Mc_io.Parse.left_names);
+    check_int "right" 2 (Array.length nb.Mc_io.Parse.right_names);
+    check_int "edges" 4 (Bipartite.Bigraph.m nb.Mc_io.Parse.graph);
+    check "edge A-r1 present" true
+      (Bipartite.Bigraph.mem_edge nb.Mc_io.Parse.graph 0 0)
+  | Error e -> Alcotest.failf "parse error: %a" Mc_io.Parse.pp_error e
+
+let test_round_trip () =
+  match Mc_io.Parse.bigraph_of_string sample_graph with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok nb -> (
+    let printed = Mc_io.Parse.bigraph_to_string nb in
+    match Mc_io.Parse.bigraph_of_string printed with
+    | Ok nb2 ->
+      check "round trip preserves the graph" true
+        (Bipartite.Bigraph.equal nb.Mc_io.Parse.graph nb2.Mc_io.Parse.graph);
+      check "names preserved" true
+        (nb.Mc_io.Parse.left_names = nb2.Mc_io.Parse.left_names
+        && nb.Mc_io.Parse.right_names = nb2.Mc_io.Parse.right_names)
+    | Error e -> Alcotest.failf "reparse error: %a" Mc_io.Parse.pp_error e)
+
+let expect_error text expected_substring =
+  match Mc_io.Parse.bigraph_of_string text with
+  | Ok _ -> Alcotest.failf "expected a parse error (%s)" expected_substring
+  | Error e ->
+    let msg = Format.asprintf "%a" Mc_io.Parse.pp_error e in
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check ("error mentions " ^ expected_substring) true
+      (contains msg expected_substring)
+
+let test_parse_errors () =
+  expect_error "nonsense" "bipartite";
+  expect_error "bipartite\nleft A\nright r\nedge B r" "unknown left node";
+  expect_error "bipartite\nleft A\nright r\nedge A z" "unknown right node";
+  expect_error "bipartite\nleft A A\nright r" "duplicate";
+  expect_error "bipartite\nfoo bar" "unknown directive"
+
+let test_name_set () =
+  match Mc_io.Parse.bigraph_of_string sample_graph with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok nb -> (
+    (match Mc_io.Parse.name_set nb [ "A"; "r2" ] with
+    | Ok s -> check_int "two nodes" 2 (Iset.cardinal s)
+    | Error _ -> Alcotest.fail "known names");
+    match Mc_io.Parse.name_set nb [ "A"; "zz" ] with
+    | Error "zz" -> check "unknown reported" true true
+    | _ -> Alcotest.fail "expected unknown name")
+
+let test_parse_schema () =
+  let text = {|
+schema
+relation works   emp dept
+relation located dept floor
+|} in
+  match Mc_io.Parse.schema_of_string text with
+  | Ok schema ->
+    check_int "relations" 2
+      (List.length (Datamodel.Schema.relation_names schema));
+    check_int "attributes" 3 (List.length (Datamodel.Schema.attributes schema))
+  | Error e -> Alcotest.failf "schema parse: %a" Mc_io.Parse.pp_error e
+
+let test_parse_hypergraph () =
+  let text = {|
+hypergraph
+nodes a b c d
+edge e1 a b
+edge e2 b c d
+|} in
+  match Mc_io.Parse.hypergraph_of_string text with
+  | Ok (h, node_names, edge_names) ->
+    check_int "nodes" 4 (Hypergraphs.Hypergraph.n_nodes h);
+    check_int "edges" 2 (Hypergraphs.Hypergraph.n_edges h);
+    check "names kept" true
+      (node_names = [| "a"; "b"; "c"; "d" |] && edge_names = [| "e1"; "e2" |]);
+    check "content" true
+      (Iset.equal (Hypergraphs.Hypergraph.edge h 1) (Iset.of_list [ 1; 2; 3 ]))
+  | Error e -> Alcotest.failf "hypergraph parse: %a" Mc_io.Parse.pp_error e
+
+let test_parse_database () =
+  let text = {|
+database
+relation works emp dept
+row works alice toys
+row works bob books
+|} in
+  (match Mc_io.Parse.database_of_string text with
+  | Ok db ->
+    check_int "one relation" 1 (List.length (Relalg.Database.names db));
+    check_int "two rows" 2
+      (Relalg.Relation.cardinality (Relalg.Database.relation db "works"))
+  | Error e -> Alcotest.failf "database parse: %a" Mc_io.Parse.pp_error e);
+  (match Mc_io.Parse.database_of_string "database
+row ghost x" with
+  | Error _ -> check "row for unknown relation rejected" true true
+  | Ok _ -> Alcotest.fail "expected error");
+  match Mc_io.Parse.database_of_string "database
+relation r a b
+row r x" with
+  | Error _ -> check "arity mismatch rejected" true true
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parse_query () =
+  (match Mc_io.Parse.query_of_string "connect emp, manager" with
+  | Ok (objs, []) ->
+    check "two objects" true (List.sort compare objs = [ "emp"; "manager" ])
+  | _ -> Alcotest.fail "plain connect");
+  (match
+     Mc_io.Parse.query_of_string
+       "connect emp where dept = toys and floor = 1"
+   with
+  | Ok ([ "emp" ], where) ->
+    check "two conditions" true
+      (List.sort compare where = [ ("dept", "toys"); ("floor", "1") ])
+  | _ -> Alcotest.fail "where clause");
+  (match Mc_io.Parse.query_of_string "select * from t" with
+  | Error _ -> check "non-connect rejected" true true
+  | Ok _ -> Alcotest.fail "expected error");
+  match Mc_io.Parse.query_of_string "connect a where b =" with
+  | Error _ -> check "malformed condition rejected" true true
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_printer_round_trips () =
+  (* Schema round trip. *)
+  let schema =
+    Datamodel.Schema.make [ ("works", [ "emp"; "dept" ]); ("loc", [ "dept"; "floor" ]) ]
+  in
+  (match Mc_io.Parse.schema_of_string (Mc_io.Parse.schema_to_string schema) with
+  | Ok s2 ->
+    check "schema survives" true
+      (Datamodel.Schema.relation_names s2 = Datamodel.Schema.relation_names schema
+      && Datamodel.Schema.attributes s2 = Datamodel.Schema.attributes schema)
+  | Error e -> Alcotest.failf "schema reparse: %a" Mc_io.Parse.pp_error e);
+  (* Hypergraph round trip. *)
+  let h =
+    Hypergraphs.Hypergraph.create ~n_nodes:3
+      [ Iset.of_list [ 0; 1 ]; Iset.of_list [ 1; 2 ] ]
+  in
+  let text =
+    Mc_io.Parse.hypergraph_to_string h ~node_names:[| "x"; "y"; "z" |]
+      ~edge_names:[| "e"; "f" |]
+  in
+  (match Mc_io.Parse.hypergraph_of_string text with
+  | Ok (h2, _, _) ->
+    check "hypergraph survives" true (Hypergraphs.Hypergraph.equal_modulo_order h h2)
+  | Error e -> Alcotest.failf "hypergraph reparse: %a" Mc_io.Parse.pp_error e);
+  (* Database round trip. *)
+  let db =
+    Relalg.Database.make
+      [ ("r", Relalg.Relation.make ~attrs:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ]) ]
+  in
+  match Mc_io.Parse.database_of_string (Mc_io.Parse.database_to_string db) with
+  | Ok db2 ->
+    check "database survives" true
+      (Relalg.Relation.equal (Relalg.Database.relation db "r")
+         (Relalg.Database.relation db2 "r"))
+  | Error e -> Alcotest.failf "database reparse: %a" Mc_io.Parse.pp_error e
+
+let () =
+  Alcotest.run "mc_io"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "bigraph" `Quick test_parse_bigraph;
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "name set" `Quick test_name_set;
+          Alcotest.test_case "schema" `Quick test_parse_schema;
+          Alcotest.test_case "hypergraph" `Quick test_parse_hypergraph;
+          Alcotest.test_case "database" `Quick test_parse_database;
+          Alcotest.test_case "query language" `Quick test_parse_query;
+          Alcotest.test_case "printer round trips" `Quick test_printer_round_trips;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the relational mini-engine: operators, scheme hypergraphs,
+   semijoin reducers and Yannakakis vs naive evaluation. *)
+
+open Hypergraphs
+open Relalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let r_emp =
+  Relation.make ~attrs:[ "emp"; "dept" ]
+    [
+      [ "alice"; "toys" ];
+      [ "bob"; "toys" ];
+      [ "carol"; "books" ];
+      [ "dave"; "games" ];
+    ]
+
+let r_dept =
+  Relation.make ~attrs:[ "dept"; "floor" ]
+    [ [ "toys"; "1" ]; [ "books"; "2" ] ]
+
+let r_floor =
+  Relation.make ~attrs:[ "floor"; "manager" ]
+    [ [ "1"; "zoe" ]; [ "2"; "yann" ]; [ "3"; "xavier" ] ]
+
+let db = Database.make [ ("emp", r_emp); ("dept", r_dept); ("floor", r_floor) ]
+
+(* ---------------------------------------------------------- Relation *)
+
+let test_relation_basics () =
+  check_int "cardinality" 4 (Relation.cardinality r_emp);
+  check_int "arity" 2 (Relation.arity r_emp);
+  check "dedup" true
+    (Relation.cardinality (Relation.make ~attrs:[ "a" ] [ [ "x" ]; [ "x" ] ]) = 1);
+  check "value lookup" true
+    (Relation.value r_dept [ "toys"; "1" ] "floor" = "1");
+  check "duplicate attrs rejected" true
+    (try
+       ignore (Relation.make ~attrs:[ "a"; "a" ] []);
+       false
+     with Invalid_argument _ -> true);
+  check "arity mismatch rejected" true
+    (try
+       ignore (Relation.make ~attrs:[ "a" ] [ [ "x"; "y" ] ]);
+       false
+     with Invalid_argument _ -> true);
+  check "equal ignores column order" true
+    (Relation.equal
+       (Relation.make ~attrs:[ "a"; "b" ] [ [ "1"; "2" ] ])
+       (Relation.make ~attrs:[ "b"; "a" ] [ [ "2"; "1" ] ]))
+
+(* --------------------------------------------------------------- Ops *)
+
+let test_project_select () =
+  let p = Ops.project r_emp [ "dept" ] in
+  check_int "projection dedups" 3 (Relation.cardinality p);
+  let s = Ops.select_eq r_emp ~attr:"dept" ~value:"toys" in
+  check_int "selection" 2 (Relation.cardinality s)
+
+let test_join () =
+  let j = Ops.natural_join r_emp r_dept in
+  check_int "join cardinality" 3 (Relation.cardinality j);
+  check "join attrs" true
+    (List.sort compare (Relation.attrs j) = [ "dept"; "emp"; "floor" ]);
+  (* Cartesian product when no shared attribute. *)
+  let a = Relation.make ~attrs:[ "x" ] [ [ "1" ]; [ "2" ] ] in
+  let b = Relation.make ~attrs:[ "y" ] [ [ "u" ]; [ "v" ]; [ "w" ] ] in
+  check_int "cartesian" 6 (Relation.cardinality (Ops.natural_join a b));
+  check "join commutes (as sets)" true
+    (Relation.equal (Ops.natural_join r_emp r_dept) (Ops.natural_join r_dept r_emp))
+
+let test_semijoin () =
+  let s = Ops.semijoin r_emp r_dept in
+  check_int "dangling dave removed" 3 (Relation.cardinality s);
+  check "attrs unchanged" true (Relation.attrs s = Relation.attrs r_emp);
+  (* Semijoin with disjoint attrs keeps everything iff right nonempty. *)
+  let b = Relation.make ~attrs:[ "z" ] [ [ "q" ] ] in
+  check_int "disjoint semijoin keeps" 4
+    (Relation.cardinality (Ops.semijoin r_emp b));
+  let empty = Relation.make ~attrs:[ "z" ] [] in
+  check_int "empty right empties left" 0
+    (Relation.cardinality (Ops.semijoin r_emp empty))
+
+(* ----------------------------------------------------------- Database *)
+
+let test_scheme_hypergraph () =
+  let h = Database.scheme_hypergraph db in
+  check_int "nodes = attributes" 4 (Hypergraph.n_nodes h);
+  check_int "edges = relations" 3 (Hypergraph.n_edges h);
+  check "chain schema is acyclic" true (Gyo.alpha_acyclic h)
+
+(* --------------------------------------------------------- Yannakakis *)
+
+let test_plan () =
+  match Yannakakis.plan db with
+  | Yannakakis.Acyclic jt -> check "join tree coherent" true (Join_tree.verify jt)
+  | Yannakakis.Naive_fallback -> Alcotest.fail "chain schema is acyclic"
+
+let test_full_reducer () =
+  match Yannakakis.plan db with
+  | Yannakakis.Naive_fallback -> Alcotest.fail "acyclic expected"
+  | Yannakakis.Acyclic jt ->
+    let reduced = Yannakakis.full_reducer db jt in
+    (* Dangling tuples are gone: dave's dept has no floor; floor 3 has
+       no dept. *)
+    check_int "emp reduced" 3
+      (Relation.cardinality (Database.relation reduced "emp"));
+    check_int "floor reduced" 2
+      (Relation.cardinality (Database.relation reduced "floor"))
+
+let test_yannakakis_equals_naive () =
+  let output = [ "emp"; "manager" ] in
+  let y = Yannakakis.evaluate db ~output in
+  let n = Yannakakis.evaluate_naive db ~output in
+  check "same result" true (Relation.equal y n);
+  check_int "three employees have managers" 3 (Relation.cardinality y)
+
+let test_cyclic_fallback () =
+  let ra = Relation.make ~attrs:[ "a"; "b" ] [ [ "1"; "2" ] ] in
+  let rb = Relation.make ~attrs:[ "b"; "c" ] [ [ "2"; "3" ] ] in
+  let rc = Relation.make ~attrs:[ "a"; "c" ] [ [ "1"; "3" ] ] in
+  let cyc = Database.make [ ("ab", ra); ("bc", rb); ("ac", rc) ] in
+  check "triangle scheme is cyclic" true (Yannakakis.plan cyc = Yannakakis.Naive_fallback);
+  let out = Yannakakis.evaluate cyc ~output:[ "a"; "b"; "c" ] in
+  check_int "still evaluates" 1 (Relation.cardinality out)
+
+let test_unknown_output () =
+  check "unknown attribute rejected" true
+    (try
+       ignore (Yannakakis.evaluate db ~output:[ "nope" ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* -------------------------------------------------------- Edge cases *)
+
+let test_relalg_edge_cases () =
+  let empty_r = Relation.make ~attrs:[ "a"; "b" ] [] in
+  check_int "join with empty is empty" 0
+    (Relation.cardinality (Ops.natural_join r_emp empty_r));
+  check_int "project to nothing" 1
+    (Relation.cardinality (Ops.project r_emp []));
+  check_int "project empty relation to nothing" 0
+    (Relation.cardinality (Ops.project empty_r []));
+  check "empty selection" true
+    (Relation.cardinality (Ops.select_eq r_emp ~attr:"dept" ~value:"zzz") = 0);
+  check "join_all of nothing" true (Ops.join_all [] = None)
+
+(* -------------------------------------------------------- properties *)
+
+let qcheck_cases =
+  let db_gen =
+    QCheck2.Gen.(
+      int_range 0 10000
+      |> map (fun seed ->
+             let rng = Workloads.Rng.make ~seed in
+             (* Random acyclic schema over attributes a0..a7 with random
+                small data. *)
+             let h = Workloads.Gen_hyper.alpha_acyclic rng ~n_edges:4 ~max_size:3 in
+             let attr i = Printf.sprintf "a%d" i in
+             let rels =
+               Array.to_list (Hypergraph.edges h)
+               |> List.mapi (fun j e ->
+                      let attrs = List.map attr (Graphs.Iset.elements e) in
+                      let row _ =
+                        List.map (fun _ -> string_of_int (Workloads.Rng.int rng 3)) attrs
+                      in
+                      ( Printf.sprintf "r%d" j,
+                        Relation.make ~attrs (List.init 6 row) ))
+             in
+             Database.make rels))
+  in
+  [
+    QCheck2.Test.make ~count:150
+      ~name:"Yannakakis = naive join-project on random acyclic databases"
+      db_gen (fun db ->
+        let attrs = Database.attributes db in
+        let output = List.filteri (fun i _ -> i mod 2 = 0) attrs in
+        QCheck2.assume (output <> []);
+        Relation.equal
+          (Yannakakis.evaluate db ~output)
+          (Yannakakis.evaluate_naive db ~output));
+    QCheck2.Test.make ~count:150
+      ~name:"full reducer never grows relations and preserves the join"
+      db_gen (fun db ->
+        match Yannakakis.plan db with
+        | Yannakakis.Naive_fallback -> true
+        | Yannakakis.Acyclic jt ->
+          let reduced = Yannakakis.full_reducer db jt in
+          List.for_all2
+            (fun (_, r) (_, r') ->
+              Relation.cardinality r' <= Relation.cardinality r)
+            (Database.relations db)
+            (Database.relations reduced)
+          &&
+          let output = Database.attributes db in
+          Relation.equal
+            (Yannakakis.evaluate_naive db ~output)
+            (Yannakakis.evaluate_naive reduced ~output));
+    QCheck2.Test.make ~count:100 ~name:"natural join is commutative (as sets)"
+      db_gen (fun db ->
+        match Database.relations db with
+        | (_, r) :: (_, s) :: _ ->
+          Relation.equal (Ops.natural_join r s) (Ops.natural_join s r)
+        | _ -> true);
+    QCheck2.Test.make ~count:100 ~name:"natural join is associative (as sets)"
+      db_gen (fun db ->
+        match Database.relations db with
+        | (_, r) :: (_, s) :: (_, t) :: _ ->
+          Relation.equal
+            (Ops.natural_join (Ops.natural_join r s) t)
+            (Ops.natural_join r (Ops.natural_join s t))
+        | _ -> true);
+    QCheck2.Test.make ~count:100
+      ~name:"semijoin = projection of the join onto the left schema" db_gen
+      (fun db ->
+        match Database.relations db with
+        | (_, r) :: (_, s) :: _ ->
+          Relation.equal (Ops.semijoin r s)
+            (Ops.project (Ops.natural_join r s) (Relation.attrs r))
+        | _ -> true);
+    QCheck2.Test.make ~count:100 ~name:"semijoin is idempotent" db_gen
+      (fun db ->
+        match Database.relations db with
+        | (_, r) :: (_, s) :: _ ->
+          let once = Ops.semijoin r s in
+          Relation.equal once (Ops.semijoin once s)
+        | _ -> true);
+  ]
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ("relation", [ Alcotest.test_case "basics" `Quick test_relation_basics ]);
+      ( "ops",
+        [
+          Alcotest.test_case "project/select" `Quick test_project_select;
+          Alcotest.test_case "natural join" `Quick test_join;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+        ] );
+      ( "database",
+        [ Alcotest.test_case "scheme hypergraph" `Quick test_scheme_hypergraph ] );
+      ( "yannakakis",
+        [
+          Alcotest.test_case "plan" `Quick test_plan;
+          Alcotest.test_case "full reducer" `Quick test_full_reducer;
+          Alcotest.test_case "equals naive" `Quick test_yannakakis_equals_naive;
+          Alcotest.test_case "cyclic fallback" `Quick test_cyclic_fallback;
+          Alcotest.test_case "unknown output" `Quick test_unknown_output;
+        ] );
+      ( "edge-cases",
+        [ Alcotest.test_case "corner cases" `Quick test_relalg_edge_cases ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+    ]

@@ -1,0 +1,273 @@
+(* Randomised checks of the paper's lemmas in both directions, plus
+   end-to-end solver consistency. The per-statement forward checks
+   live in test_bipartite / test_steiner; this file concentrates on
+   the "if and only if" converses and the internal lemmas. *)
+
+open Graphs
+open Bipartite
+open Steiner
+
+let rng_of seed = Workloads.Rng.make ~seed
+
+let small_bipartite_gen =
+  QCheck2.Gen.(
+    tup3 (int_range 2 4) (int_range 2 4) (int_range 0 100000)
+    |> map (fun (nl, nr, seed) ->
+           let rng = rng_of seed in
+           Workloads.Gen_bipartite.gnp rng ~nl ~nr ~p:0.55))
+
+(* Lemma 4 forward: on (6,2)-chordal graphs every nonredundant path is
+   minimum. Converse: a non-(6,2) graph always has a nonredundant
+   non-minimum path. Together: equivalence. *)
+let lemma4 =
+  QCheck2.Test.make ~count:250
+    ~name:"Lemma 4 (iff): (6,2)-chordal = all nonredundant paths minimum"
+    small_bipartite_gen (fun g ->
+      let u = Bigraph.ugraph g in
+      Mn_chordality.is_62_chordal g
+      = (Cover.nonredundant_nonminimum_pair u = None))
+
+(* Lemma 5 converse: on a non-(6,2)-chordal graph some terminal pair has
+   nonredundant covers of different sizes. (The forward direction is a
+   property test in test_steiner.) *)
+let lemma5_converse =
+  QCheck2.Test.make ~count:100
+    ~name:"Lemma 5 converse: non-(6,2) graphs have non-minimum nonredundant covers"
+    small_bipartite_gen (fun g ->
+      QCheck2.assume (not (Mn_chordality.is_62_chordal g));
+      let u = Bigraph.ugraph g in
+      let nodes = Iset.elements (Ugraph.nodes u) in
+      let pairs =
+        List.concat_map
+          (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) nodes)
+          nodes
+      in
+      List.exists
+        (fun (a, b) ->
+          let p = Iset.of_list [ a; b ] in
+          match Traverse.component_containing u p with
+          | None -> false
+          | Some comp ->
+            let sizes =
+              List.map Iset.cardinal
+                (Cover.nonredundant_covers_brute u ~within:comp ~p)
+            in
+            (match sizes with
+            | [] -> false
+            | s :: rest -> List.exists (fun x -> x <> s) rest))
+        pairs)
+
+(* Lemma 1: the ordering computed inside Algorithm 1 satisfies both
+   stated properties on generated alpha-acyclic instances. *)
+let lemma1 =
+  QCheck2.Test.make ~count:150
+    ~name:"Lemma 1: Algorithm 1's W ordering has the suffix properties"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let g = Workloads.Gen_bipartite.alpha_bipartite rng ~n_right:5 ~max_size:3 in
+      let u = Bigraph.ugraph g in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:2 in
+      QCheck2.assume (Iset.cardinal p = 2);
+      match Algorithm1.solve g ~p with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok r ->
+        let w = Array.of_list r.Algorithm1.elimination_order in
+        let q = Array.length w in
+        let suffix i =
+          Iset.of_list (Array.to_list (Array.sub w i (q - i)))
+        in
+        let adj_set s =
+          Iset.fold (fun v acc -> Iset.union (Ugraph.neighbors u v) acc) s Iset.empty
+        in
+        let prop1 =
+          (* induced subgraph on suffix ∪ Adj(suffix) is connected *)
+          List.for_all
+            (fun i ->
+              let s = suffix i in
+              Traverse.is_connected ~within:(Iset.union s (adj_set s)) u)
+            (List.init q (fun i -> i))
+        in
+        let prop2 =
+          List.for_all
+            (fun i ->
+              if i = q - 1 then true
+              else
+                let vi = w.(i) in
+                let inter =
+                  Iset.inter (Ugraph.neighbors u vi) (adj_set (suffix (i + 1)))
+                in
+                Iset.is_empty inter
+                || List.exists
+                     (fun j -> Iset.subset inter (Ugraph.neighbors u w.(j)))
+                     (List.init (q - i - 1) (fun d -> i + 1 + d)))
+            (List.init q (fun i -> i))
+        in
+        prop1 && prop2)
+
+(* Lemma 2 on generated V2-chordal V2-conformal instances: every cycle
+   of length >= 6 and every pair of left nodes at cycle distance 2 has
+   a right node adjacent to both and to a third cycle node. *)
+let lemma2 =
+  QCheck2.Test.make ~count:100
+    ~name:"Lemma 2: distance-2 pairs on long cycles share an anchored witness"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let g = Workloads.Gen_bipartite.alpha_bipartite rng ~n_right:4 ~max_size:3 in
+      let u = Bigraph.ugraph g in
+      let left = Bigraph.left_nodes g in
+      let right = Bigraph.right_nodes g in
+      let ok = ref true in
+      Cycles.iter_simple_cycles ~min_len:6 u (fun cyc ->
+          if !ok then begin
+            let arr = Array.of_list cyc in
+            let k = Array.length arr in
+            let cycle_set = Iset.of_list cyc in
+            for i = 0 to k - 1 do
+              let v1 = arr.(i) and v2 = arr.((i + 2) mod k) in
+              if Iset.mem v1 left && Iset.mem v2 left then begin
+                let witness w =
+                  let nb = Ugraph.neighbors u w in
+                  Iset.mem v1 nb && Iset.mem v2 nb
+                  && not
+                       (Iset.is_empty
+                          (Iset.remove v1 (Iset.remove v2 (Iset.inter nb cycle_set))))
+                in
+                if not (Iset.exists witness right) then ok := false
+              end
+            done
+          end);
+      !ok)
+
+(* Lemma 3 consequence used by the proof: in Algorithm 1's ordering, a
+   right node adjacent to a chord-like witness cannot be followed by
+   both cycle endpoints... exercised indirectly: the algorithm's result
+   must stay V2-nonredundant. *)
+let alg1_v2_nonredundant =
+  QCheck2.Test.make ~count:150
+    ~name:"Algorithm 1 result is a V2-nonredundant cover"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = rng_of seed in
+      let g = Workloads.Gen_bipartite.alpha_bipartite rng ~n_right:5 ~max_size:3 in
+      let u = Bigraph.ugraph g in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:3 in
+      QCheck2.assume (Iset.cardinal p >= 2);
+      match Algorithm1.solve g ~p with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok r ->
+        Cover.is_side_nonredundant_cover u ~p ~side:(Bigraph.right_nodes g)
+          r.Algorithm1.tree.Tree.nodes)
+
+(* Algorithm 2 (fixpoint elimination) always returns a nonredundant
+   cover, on every graph — the precondition only buys minimality. *)
+let alg2_nonredundant =
+  QCheck2.Test.make ~count:200
+    ~name:"Algorithm 2 result is a nonredundant cover on any graph"
+    small_bipartite_gen (fun g ->
+      let u = Bigraph.ugraph g in
+      let rng = rng_of (Ugraph.m u) in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:2 in
+      QCheck2.assume (Iset.cardinal p = 2);
+      match Algorithm2.solve u ~p with
+      | None -> true
+      | Some t -> Cover.is_nonredundant_cover u ~p t.Tree.nodes)
+
+(* End-to-end: whenever the facade claims optimality, the node count
+   matches the exact DP. *)
+let facade_consistency =
+  QCheck2.Test.make ~count:120
+    ~name:"facade optimal flag is honest (matches exact DP)"
+    small_bipartite_gen (fun g ->
+      let u = Bigraph.ugraph g in
+      let rng = rng_of (Ugraph.m u + 17) in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:3 in
+      QCheck2.assume (Iset.cardinal p >= 2);
+      match Minconn.solve_steiner g ~p with
+      | None -> Traverse.component_containing u p = None
+      | Some s ->
+        (not s.Minconn.optimal)
+        || Some (Steiner.Tree.node_count s.Minconn.tree)
+           = Dreyfus_wagner.optimum_nodes u ~terminals:p)
+
+(* Theorem 2 scaled up one notch: q = 3 with planted instances. *)
+let theorem2_q3 =
+  QCheck2.Test.make ~count:10
+    ~name:"Theorem 2 equivalence at q = 3"
+    QCheck2.Gen.(int_range 0 200)
+    (fun seed ->
+      let rng = rng_of seed in
+      let solvable = Workloads.Rng.bool rng 0.5 in
+      let inst =
+        if solvable then Workloads.Gen_x3c.planted rng ~q:3 ~distractors:2
+        else Workloads.Gen_x3c.unsolvable_pair rng ~q:3 ~distractors:3
+      in
+      let red = Reductions.theorem2 inst in
+      Reductions.theorem2_gadget_ok red
+      && X3c.solve inst <> None = Reductions.steiner_within_budget red)
+
+(* Corollary 4: on (6,1)-chordal graphs the pseudo-Steiner problem
+   w.r.t. V1 is polynomial — Algorithm 1 on the flipped graph, licensed
+   by Corollary 2. Checked against the brute-force V1 minimum. *)
+let corollary4 =
+  QCheck2.Test.make ~count:100
+    ~name:"Corollary 4: pseudo-Steiner w.r.t. V1 on (6,1)-chordal graphs"
+    QCheck2.Gen.(tup2 (int_range 2 5) (int_range 0 5000))
+    (fun (petals, seed) ->
+      let rng = rng_of seed in
+      let g =
+        if Workloads.Rng.bool rng 0.5 then
+          Workloads.Gen_bipartite.chordal_61_flower rng ~petals
+        else Workloads.Gen_bipartite.chordal_62 rng ~n_right:4 ~max_size:3
+      in
+      QCheck2.assume (Mn_chordality.is_61_chordal g);
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:3 in
+      QCheck2.assume (Iset.cardinal p >= 2);
+      match (Algorithm1.solve_wrt_v1 g ~p, Brute.v1_minimum g ~p) with
+      | Ok r, Some (_, best) ->
+        r.Algorithm1.v2_count = best
+        && Steiner.Tree.verify (Bigraph.ugraph g) ~terminals:p
+             r.Algorithm1.tree
+      | Error Algorithm1.Disconnected_terminals, None -> true
+      | _ -> false)
+
+(* Bridge to reference [16] (White-Farber-Pulleyblank): the class where
+   the non-bipartite Steiner problem turns polynomial is the strongly
+   chordal graphs, and it connects back to the paper's taxonomy through
+   beta-acyclicity: G is strongly chordal exactly when its closed
+   neighborhood hypergraph is beta-acyclic — i.e. when the bipartite
+   vertex/closed-neighborhood incidence graph is (6,1)-chordal. *)
+let strongly_chordal_bridge =
+  QCheck2.Test.make ~count:250
+    ~name:"[16] bridge: strongly chordal = beta-acyclic closed neighborhoods"
+    QCheck2.Gen.(tup2 (int_range 3 8) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = rng_of seed in
+      let g = Workloads.Gen_graph.gnp rng ~n ~p:0.4 in
+      let nh =
+        Hypergraphs.Hypergraph.create ~n_nodes:n
+          (List.init n (fun v ->
+               Graphs.Strongly_chordal.closed_neighborhood g
+                 ~within:(Graphs.Ugraph.nodes g) v))
+      in
+      Graphs.Strongly_chordal.is_strongly_chordal g
+      = Hypergraphs.Beta.acyclic nh)
+
+let qcheck_cases =
+  [
+    lemma4;
+    corollary4;
+    lemma5_converse;
+    lemma1;
+    lemma2;
+    alg1_v2_nonredundant;
+    alg2_nonredundant;
+    facade_consistency;
+    theorem2_q3;
+    strongly_chordal_bridge;
+  ]
+
+let () =
+  Alcotest.run "theorems"
+    [ ("lemmas-and-theorems", List.map QCheck_alcotest.to_alcotest qcheck_cases) ]

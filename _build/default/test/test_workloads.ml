@@ -1,0 +1,133 @@
+(* Tests for the workload generators: determinism and class membership
+   of every constructive generator. *)
+
+open Graphs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rng_determinism () =
+  let a = Workloads.Rng.make ~seed:42 in
+  let b = Workloads.Rng.make ~seed:42 in
+  let xs = List.init 20 (fun _ -> Workloads.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Workloads.Rng.int b 1000) in
+  check "same seed, same stream" true (xs = ys);
+  let c = Workloads.Rng.make ~seed:43 in
+  let zs = List.init 20 (fun _ -> Workloads.Rng.int c 1000) in
+  check "different seed, different stream" false (xs = zs)
+
+let test_rng_helpers () =
+  let rng = Workloads.Rng.make ~seed:1 in
+  let sample = Workloads.Rng.sample rng 3 [ 1; 2; 3; 4; 5 ] in
+  check_int "sample size" 3 (List.length sample);
+  check "sample distinct" true
+    (List.length (List.sort_uniq compare sample) = 3);
+  let shuffled = Workloads.Rng.shuffle rng [ 1; 2; 3; 4; 5 ] in
+  check "shuffle is a permutation" true
+    (List.sort compare shuffled = [ 1; 2; 3; 4; 5 ])
+
+let test_graph_generators () =
+  let rng = Workloads.Rng.make ~seed:2 in
+  let t = Workloads.Gen_graph.random_tree rng ~n:30 in
+  check "tree is a tree" true (Graphs.Spanning.is_tree t);
+  let g = Workloads.Gen_graph.random_connected rng ~n:25 ~extra_edges:5 in
+  check "connected" true (Traverse.is_connected g);
+  let c = Workloads.Gen_graph.cycle 7 in
+  check_int "cycle edges" 7 (Ugraph.m c);
+  check "gnp with p=1 is complete" true
+    (Ugraph.m (Workloads.Gen_graph.gnp rng ~n:5 ~p:1.0) = 10);
+  check "gnp with p=0 is empty" true
+    (Ugraph.m (Workloads.Gen_graph.gnp rng ~n:5 ~p:0.0) = 0)
+
+let test_bipartite_generators () =
+  let rng = Workloads.Rng.make ~seed:3 in
+  let f = Workloads.Gen_bipartite.forest rng ~n:15 in
+  check "forest generator is (4,1)" true (Bipartite.Mn_chordality.is_41_chordal f);
+  let g62 = Workloads.Gen_bipartite.chordal_62 rng ~n_right:8 ~max_size:4 in
+  check "(6,2) generator lands in class" true
+    (Bipartite.Mn_chordality.is_62_chordal g62);
+  let ga = Workloads.Gen_bipartite.alpha_bipartite rng ~n_right:8 ~max_size:4 in
+  check "alpha generator lands in class" true
+    (Bipartite.Side_properties.alpha_side ga Bipartite.Bigraph.V2);
+  let fl = Workloads.Gen_bipartite.chordal_61_flower rng ~petals:4 in
+  check "flower is (6,1) but not (6,2)" true
+    (Bipartite.Mn_chordality.is_61_chordal fl
+    && not (Bipartite.Mn_chordality.is_62_chordal fl))
+
+let test_terminals () =
+  let rng = Workloads.Rng.make ~seed:4 in
+  let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right:8 ~max_size:3 in
+  let p = Workloads.Gen_bipartite.random_terminals rng g ~k:4 in
+  check_int "4 terminals" 4 (Iset.cardinal p);
+  check "terminals are connected" true
+    (Traverse.connects (Bipartite.Bigraph.ugraph g) p)
+
+let test_x3c_generators () =
+  let rng = Workloads.Rng.make ~seed:5 in
+  let planted = Workloads.Gen_x3c.planted rng ~q:5 ~distractors:8 in
+  check_int "triple count" 13 (Array.length planted.Steiner.X3c.triples);
+  check "planted is solvable" true (Steiner.X3c.solve planted <> None);
+  let bad = Workloads.Gen_x3c.unsolvable_pair rng ~q:3 ~distractors:5 in
+  check "unsolvable really is" true (Steiner.X3c.solve bad = None)
+
+let test_er_spec () =
+  let rng = Workloads.Rng.make ~seed:6 in
+  let spec = Workloads.Gen_er.er_spec rng ~n_entities:4 ~n_relationships:3 ~attrs_per:2 in
+  (* Must be accepted by the datamodel layer as-is. *)
+  let er =
+    Datamodel.Er.make ~entities:spec.Workloads.Gen_er.entities
+      ~relationships:spec.Workloads.Gen_er.relationships
+  in
+  check_int "entities" 4 (List.length (Datamodel.Er.entities er));
+  check_int "relationships" 3 (List.length (Datamodel.Er.relationships er))
+
+let test_layered_spec () =
+  let rng = Workloads.Rng.make ~seed:7 in
+  let spec = Workloads.Gen_er.layered_spec rng ~n_levels:4 ~width:3 ~fanin:2 in
+  let t =
+    Datamodel.Layered.make ~levels:spec.Workloads.Gen_er.levels
+      ~definitions:spec.Workloads.Gen_er.definitions
+  in
+  check_int "levels" 4 (Datamodel.Layered.n_levels t);
+  (* Layered hierarchies are bipartite by construction: profile runs. *)
+  let p = Datamodel.Layered.profile t in
+  check "profile consistent" true (Bipartite.Classify.theorem1_consistent p)
+
+let test_gen_db () =
+  let rng = Workloads.Rng.make ~seed:8 in
+  let db = Workloads.Gen_db.acyclic rng ~n_relations:4 ~rows:10 in
+  check "acyclic db plan" true
+    (match Relalg.Yannakakis.plan db with
+    | Relalg.Yannakakis.Acyclic _ -> true
+    | Relalg.Yannakakis.Naive_fallback -> false);
+  let chain = Workloads.Gen_db.chain rng ~length:3 ~rows:5 ~domain:4 in
+  check_int "chain relations" 3 (List.length (Relalg.Database.names chain));
+  let out = Relalg.Yannakakis.evaluate chain ~output:[ "a0"; "a3" ] in
+  check "chain evaluates" true (Relalg.Relation.arity out = 2)
+
+let test_beta_flower_shape () =
+  let h = Workloads.Gen_hyper.beta_flower (Workloads.Rng.make ~seed:0) ~petals:5 in
+  check_int "edges = petals + 1" 6 (Hypergraphs.Hypergraph.n_edges h);
+  check "beta not gamma" true
+    (Hypergraphs.Beta.acyclic h && not (Hypergraphs.Gamma.acyclic h))
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "helpers" `Quick test_rng_helpers;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "graphs" `Quick test_graph_generators;
+          Alcotest.test_case "bipartite classes" `Quick test_bipartite_generators;
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "x3c" `Quick test_x3c_generators;
+          Alcotest.test_case "er spec" `Quick test_er_spec;
+          Alcotest.test_case "layered spec" `Quick test_layered_spec;
+          Alcotest.test_case "db generators" `Quick test_gen_db;
+          Alcotest.test_case "beta flower" `Quick test_beta_flower_shape;
+        ] );
+    ]
