@@ -23,7 +23,11 @@ open Graphs
 open Bipartite
 open Steiner
 
-let rng_of seed = Workloads.Rng.make ~seed
+(* Every section derives its randomness through this one helper (shared
+   with examples/steiner_playground.ml via Workloads.Rng.for_trial), so
+   a given trial of a given experiment is reproducible run to run and
+   independent of what other sections consumed before it. *)
+let trial ~section t = Workloads.Rng.for_trial ~section ~trial:t
 
 let header title = Printf.printf "\n==== %s ====\n%!" title
 
@@ -151,7 +155,7 @@ let table_t1 () =
   let agree_i = ref 0 and agree_ii = ref 0 and agree_iii = ref 0 in
   let agree_v = ref 0 and total = ref 0 in
   for seed = 0 to trials - 1 do
-    let rng = rng_of seed in
+    let rng = trial ~section:"t1" seed in
     let nl = 2 + Workloads.Rng.int rng 4 and nr = 1 + Workloads.Rng.int rng 4 in
     let g = Workloads.Gen_bipartite.gnp rng ~nl ~nr ~p:0.5 in
     let isolated =
@@ -194,7 +198,7 @@ let table_c1 () =
   let ok_b = ref 0 and ok_g = ref 0 and ok_be = ref 0 in
   let alpha_breaks = ref 0 and alpha_cases = ref 0 in
   for seed = 0 to trials - 1 do
-    let rng = rng_of (seed + 10_000) in
+    let rng = trial ~section:"c1" seed in
     let h =
       Workloads.Gen_hyper.random rng
         ~n_nodes:(2 + Workloads.Rng.int rng 5)
@@ -227,7 +231,7 @@ let table_h1 () =
   in
   let violations = ref 0 in
   for seed = 0 to trials - 1 do
-    let rng = rng_of (seed + 20_000) in
+    let rng = trial ~section:"h1" seed in
     let h =
       Workloads.Gen_hyper.random rng
         ~n_nodes:(2 + Workloads.Rng.int rng 5)
@@ -255,10 +259,10 @@ let table_q2 () =
     let alg2_total = ref 0 and approx_total = ref 0 and opt_total = ref 0 in
     let ls_total = ref 0 in
     let alg2_exact = ref 0 and cases = ref 0 in
-    let seed = ref 0 in
-    while !cases < trials && !seed < trials * 20 do
-      let rng = rng_of (!seed + 30_000) in
-      incr seed;
+    let attempt = ref 0 in
+    while !cases < trials && !attempt < trials * 20 do
+      let rng = trial ~section:("q2-" ^ name) !attempt in
+      incr attempt;
       let g = gen_graph rng in
       let u = Bigraph.ugraph g in
       let p = Workloads.Gen_bipartite.random_terminals rng g ~k:4 in
@@ -267,7 +271,7 @@ let table_q2 () =
           ( Algorithm2.solve u ~p,
             Dreyfus_wagner.optimum_nodes u ~terminals:p,
             Mst_approx.solve u ~terminals:p,
-            Local_search.solve ~iterations:60 ~seed:!seed u ~terminals:p )
+            Local_search.solve ~iterations:60 ~seed:!attempt u ~terminals:p )
         with
         | Some a, Some opt, Some ap, Some ls ->
           incr cases;
@@ -324,7 +328,7 @@ let table_p1 () =
       let c41 = ref 0 and c62 = ref 0 and c61 = ref 0 in
       let calpha = ref 0 and ccyc = ref 0 in
       for seed = 0 to trials - 1 do
-        let rng = rng_of (seed + (p10 * 1000) + 200_000) in
+        let rng = trial ~section:(Printf.sprintf "p1-%d" p10) seed in
         let g = Workloads.Gen_bipartite.gnp rng ~nl:6 ~nr:5 ~p in
         let profile = Classify.profile g in
         if profile.Classify.chordal_41 then incr c41;
@@ -349,7 +353,7 @@ let table_w1 () =
   List.iter
     (fun (name, schema) ->
       let attrs = Datamodel.Schema.attributes schema in
-      let rng = rng_of (Hashtbl.hash name) in
+      let rng = trial ~section:("w1-" ^ name) 0 in
       let answerable = ref 0 and size_total = ref 0 and unamb = ref 0 in
       for _ = 1 to 100 do
         let objects = Workloads.Rng.sample rng 2 attrs in
@@ -390,7 +394,7 @@ let table_y1 () =
   in
   List.iter
     (fun n_rows ->
-      let rng = rng_of (n_rows + 40_000) in
+      let rng = trial ~section:"y1" n_rows in
       let db = make_db rng n_rows in
       let output = [ "a0"; "a4" ] in
       let time f =
@@ -428,7 +432,7 @@ let scaling_t4 () =
     "ms/(V*A) * 1e3";
   List.iter
     (fun n_right ->
-      let rng = rng_of (n_right + 50_000) in
+      let rng = trial ~section:"t4" n_right in
       let g =
         Workloads.Gen_bipartite.alpha_bipartite rng ~n_right ~max_size:5
       in
@@ -446,7 +450,7 @@ let scaling_t5 () =
     "ms/(V*A) * 1e3";
   List.iter
     (fun n_right ->
-      let rng = rng_of (n_right + 60_000) in
+      let rng = trial ~section:"t5" n_right in
       let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:5 in
       let u = Bigraph.ugraph g in
       let p = Workloads.Gen_bipartite.random_terminals rng g ~k:5 in
@@ -459,13 +463,13 @@ let scaling_t5 () =
 (* Q1: the polynomial/exponential crossover. *)
 let scaling_q1 () =
   header "Q1: exact DP vs Algorithm 2 as terminals grow ((6,2)-chordal)";
-  let rng = rng_of 70_000 in
+  let rng = trial ~section:"q1" 0 in
   let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right:30 ~max_size:4 in
   let u = Bigraph.ugraph g in
   Printf.printf "%10s %14s %14s %8s\n" "terminals" "alg2 ms" "exact ms" "same?";
   List.iter
     (fun k ->
-      let p = Workloads.Gen_bipartite.random_terminals (rng_of k) g ~k in
+      let p = Workloads.Gen_bipartite.random_terminals (trial ~section:"q1-terminals" k) g ~k in
       if Iset.cardinal p >= 2 then begin
         let t_alg2 = time_ms (fun () -> Algorithm2.solve u ~p) in
         let t_dw = time_ms (fun () -> Dreyfus_wagner.solve u ~terminals:p) in
@@ -489,7 +493,7 @@ let scaling_t2 () =
   Printf.printf "%4s %10s %10s %12s\n" "q" "terminals" "budget" "ms";
   List.iter
     (fun q ->
-      let rng = rng_of (q + 80_000) in
+      let rng = trial ~section:"t2" q in
       let inst = Workloads.Gen_x3c.planted rng ~q ~distractors:q in
       let red = Reductions.theorem2 inst in
       let t0 = Sys.time () in
@@ -514,10 +518,10 @@ let ablation_a1 () =
   let nonoptimal_once = ref 0 and redundant_once = ref 0 in
   let nonoptimal_fix = ref 0 and cases = ref 0 in
   let extra_nodes = ref 0 in
-  let seed = ref 0 in
-  while !cases < trials && !seed < trials * 10 do
-    let rng = rng_of (!seed + 100_000) in
-    incr seed;
+  let attempt = ref 0 in
+  while !cases < trials && !attempt < trials * 10 do
+    let rng = trial ~section:"a1" !attempt in
+    incr attempt;
     let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right:6 ~max_size:3 in
     let u = Bigraph.ugraph g in
     let p = Workloads.Gen_bipartite.random_terminals rng g ~k:3 in
@@ -557,7 +561,7 @@ let ablation_a2 () =
     "bisimplicial ms" "doubly-lex ms";
   List.iter
     (fun n_right ->
-      let rng = rng_of (n_right + 110_000) in
+      let rng = trial ~section:"a2" n_right in
       let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:4 in
       let t_beta = time_ms (fun () -> Mn_chordality.is_61_chordal g) in
       let t_bis =
@@ -575,7 +579,7 @@ let ablation_a3 () =
 " "edges" "nodes" "GYO ms" "MCS ms" "agree";
   List.iter
     (fun n_edges ->
-      let rng = rng_of (n_edges + 120_000) in
+      let rng = trial ~section:"a3" n_edges in
       let h = Workloads.Gen_hyper.alpha_acyclic rng ~n_edges ~max_size:5 in
       let t_gyo = time_ms (fun () -> Hypergraphs.Gyo.alpha_acyclic h) in
       let t_mcs = time_ms (fun () -> Hypergraphs.Mcs.alpha_acyclic h) in
@@ -594,7 +598,7 @@ let ablation_d1 () =
   let trials = 150 in
   let ranked_total = ref 0 and random_total = ref 0 and cases = ref 0 in
   for seed = 0 to trials - 1 do
-    let rng = rng_of (seed + 140_000) in
+    let rng = trial ~section:"d1" seed in
     let h = Workloads.Gen_hyper.gamma_acyclic rng ~n_edges:5 ~max_size:3 in
     let attr i = Printf.sprintf "a%d" i in
     let schema =
@@ -643,7 +647,7 @@ let ablation_d1 () =
 (* A4: cost of ranked interpretation enumeration as k grows. *)
 let ablation_a4 () =
   header "A4: k-best connection enumeration cost";
-  let rng = rng_of 130_000 in
+  let rng = trial ~section:"a4" 0 in
   let g = Workloads.Gen_bipartite.gnp rng ~nl:9 ~nr:9 ~p:0.3 in
   let u = Bigraph.ugraph g in
   let p = Workloads.Gen_bipartite.random_terminals rng g ~k:3 in
@@ -668,18 +672,18 @@ let ablation_a4 () =
 
 let micro_tests () =
   let open Bechamel in
-  let rng = rng_of 90_000 in
+  let rng = trial ~section:"micro" 0 in
   let g62 = Workloads.Gen_bipartite.chordal_62 rng ~n_right:40 ~max_size:4 in
   let u62 = Bigraph.ugraph g62 in
-  let p62 = Workloads.Gen_bipartite.random_terminals (rng_of 1) g62 ~k:5 in
+  let p62 = Workloads.Gen_bipartite.random_terminals (trial ~section:"micro-terminals" 1) g62 ~k:5 in
   let galpha =
     Workloads.Gen_bipartite.alpha_bipartite rng ~n_right:40 ~max_size:4
   in
   let palpha =
-    Workloads.Gen_bipartite.random_terminals (rng_of 2) galpha ~k:5
+    Workloads.Gen_bipartite.random_terminals (trial ~section:"micro-terminals" 2) galpha ~k:5
   in
   let gnp = Workloads.Gen_bipartite.gnp rng ~nl:12 ~nr:12 ~p:0.3 in
-  let pnp = Workloads.Gen_bipartite.random_terminals (rng_of 3) gnp ~k:5 in
+  let pnp = Workloads.Gen_bipartite.random_terminals (trial ~section:"micro-terminals" 3) gnp ~k:5 in
   let unp = Bigraph.ugraph gnp in
   let h_rand =
     Workloads.Gen_hyper.random rng ~n_nodes:20 ~n_edges:12 ~max_size:5
@@ -687,7 +691,7 @@ let micro_tests () =
   let chordal_g = Workloads.Gen_graph.random_chordal rng ~n:60 ~max_clique:5 in
   let x3c = Workloads.Gen_x3c.planted rng ~q:3 ~distractors:3 in
   let red = Reductions.theorem2 x3c in
-  let db_rng = rng_of 4 in
+  let db_rng = trial ~section:"micro-db" 0 in
   let db =
     Relalg.Database.make
       (List.init 4 (fun j ->
@@ -765,8 +769,358 @@ let micro_section () =
   Printf.printf "%!"
 
 (* ------------------------------------------------------------------ *)
+(* Section: kernels                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Old-vs-new timing for the flat CSR/bitset kernel layer: every ported
+   algorithm is timed against the set-based original it replaced, on a
+   small size ladder per section, and the whole trajectory is written
+   as machine-readable JSON (BENCH_kernels.json by default) so runs can
+   be compared across commits. [--trials k] controls repetitions per
+   measurement, [--max-n k] caps the generator size parameter (the
+   bench-smoke alias uses --trials 1 --max-n 64), [--json path] sets
+   the output file. *)
+
+let time_mean ~trials f =
+  ignore (Sys.opaque_identity (f ()));
+  let total = ref 0.0 in
+  for _ = 1 to trials do
+    let t0 = Sys.time () in
+    let reps = ref 0 in
+    let continue = ref true in
+    (* With several trials, repeat until the window is long enough to
+       time reliably; with --trials 1 (smoke), a single call is enough. *)
+    while !continue do
+      ignore (Sys.opaque_identity (f ()));
+      incr reps;
+      continue := trials > 1 && Sys.time () -. t0 < 0.02
+    done;
+    total := !total +. ((Sys.time () -. t0) *. 1000.0 /. float_of_int !reps)
+  done;
+  !total /. float_of_int trials
+
+let kernels_json ~trials ~max_n rows =
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let section_names =
+    List.fold_left
+      (fun acc (s, _) -> if List.mem s acc then acc else acc @ [ s ])
+      [] rows
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"minconn-bench-kernels/1\",\n";
+  Printf.bprintf b "  \"trials\": %d,\n  \"max_n\": %d,\n  \"sections\": {\n"
+    trials max_n;
+  List.iteri
+    (fun i s ->
+      Printf.bprintf b "    \"%s\": [\n" (escape s);
+      let rs = List.filter (fun (s', _) -> s' = s) rows in
+      List.iteri
+        (fun j (_, (impl, n, m, tr, ms)) ->
+          Printf.bprintf b
+            "      { \"name\": \"%s\", \"n\": %d, \"m\": %d, \"trials\": %d, \"mean_ms\": %.6f }%s\n"
+            (escape impl) n m tr ms
+            (if j = List.length rs - 1 then "" else ","))
+        rs;
+      Printf.bprintf b "    ]%s\n"
+        (if i = List.length section_names - 1 then "" else ","))
+    section_names;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+(* Minimal JSON reader, used only to check that the file just written
+   actually parses and has the expected row shape (the project
+   deliberately carries no JSON dependency). *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let k = String.length lit in
+    if !pos + k <= n && String.sub s !pos k = lit then begin
+      pos := !pos + k;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "bad escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "bad unicode escape";
+          (* Validation only: the code point itself is not decoded. *)
+          Buffer.add_char b '?';
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Jarr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items (v :: acc)
+          | Some ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jarr (items [])
+      end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let validate_kernels_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match parse_json s with
+  | exception Bad_json msg -> Error msg
+  | Jobj fields -> (
+    match List.assoc_opt "sections" fields with
+    | Some (Jobj secs) when secs <> [] ->
+      let row_ok = function
+        | Jobj r -> (
+          match
+            ( List.assoc_opt "name" r,
+              List.assoc_opt "n" r,
+              List.assoc_opt "m" r,
+              List.assoc_opt "trials" r,
+              List.assoc_opt "mean_ms" r )
+          with
+          | Some (Jstr _), Some (Jnum _), Some (Jnum _), Some (Jnum _),
+            Some (Jnum ms) ->
+            ms >= 0.0
+          | _ -> false)
+        | _ -> false
+      in
+      let section_ok = function
+        | _, Jarr rows -> rows <> [] && List.for_all row_ok rows
+        | _ -> false
+      in
+      if List.for_all section_ok secs then Ok (List.length secs)
+      else Error "malformed section rows"
+    | _ -> Error "missing nonempty \"sections\" object")
+  | _ -> Error "top level is not an object"
+
+let kernels_section ~trials ~max_n ~json_path () =
+  header "kernels: set-based originals vs flat CSR/bitset ports";
+  Printf.printf "%-10s %-5s %6s %8s %12s\n" "section" "impl" "|V|" "|E|"
+    "mean ms";
+  let rows = ref [] in
+  let pair ~section ~n ~m sets csr =
+    let run impl f =
+      let ms = time_mean ~trials f in
+      Printf.printf "%-10s %-5s %6d %8d %12.4f\n%!" section impl n m ms;
+      rows := !rows @ [ (section, (impl, n, m, trials, ms)) ];
+      ms
+    in
+    let t_sets = run "sets" sets in
+    let t_csr = run "csr" csr in
+    (t_sets, t_csr)
+  in
+  let sizes l = List.filter (fun x -> x <= max_n) l in
+  let largest = ref [] in
+  let note section p =
+    largest := (section, p) :: List.remove_assoc section !largest
+  in
+  List.iter
+    (fun nsz ->
+      let rng = trial ~section:"kernels-lexbfs" nsz in
+      let g = Workloads.Gen_graph.gnp rng ~n:nsz ~p:(8.0 /. float_of_int nsz) in
+      note "lexbfs"
+        (pair ~section:"lexbfs" ~n:(Ugraph.n g) ~m:(Ugraph.m g)
+           (fun () -> Lexbfs.lexbfs_order_sets g)
+           (fun () -> Lexbfs.lexbfs_order g)))
+    (sizes [ 48; 96; 192; 384 ]);
+  List.iter
+    (fun n_edges ->
+      let rng = trial ~section:"kernels-mcs" n_edges in
+      let h = Workloads.Gen_hyper.alpha_acyclic rng ~n_edges ~max_size:6 in
+      note "mcs"
+        (pair ~section:"mcs"
+           ~n:(Hypergraphs.Hypergraph.n_nodes h)
+           ~m:(Hypergraphs.Hypergraph.n_edges h)
+           (fun () -> Hypergraphs.Mcs.edge_order_sets h)
+           (fun () -> Hypergraphs.Mcs.edge_order h)))
+    (sizes [ 16; 32; 64; 128 ]);
+  List.iter
+    (fun nsz ->
+      let rng = trial ~section:"kernels-chordal" nsz in
+      let g = Workloads.Gen_graph.random_chordal rng ~n:nsz ~max_clique:6 in
+      note "chordal"
+        (pair ~section:"chordal" ~n:(Ugraph.n g) ~m:(Ugraph.m g)
+           (fun () -> Chordal.is_chordal_sets g)
+           (fun () -> Chordal.is_chordal g)))
+    (sizes [ 48; 96; 192; 384 ]);
+  List.iter
+    (fun n_right ->
+      let rng = trial ~section:"kernels-algorithm1" n_right in
+      let g = Workloads.Gen_bipartite.alpha_bipartite rng ~n_right ~max_size:5 in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:5 in
+      let u = Bigraph.ugraph g in
+      note "algorithm1"
+        (pair ~section:"algorithm1" ~n:(Ugraph.n u) ~m:(Ugraph.m u)
+           (fun () -> Algorithm1.solve_sets g ~p)
+           (fun () -> Algorithm1.solve g ~p)))
+    (sizes [ 12; 24; 48; 96 ]);
+  List.iter
+    (fun section ->
+      match List.assoc_opt section !largest with
+      | None -> ()
+      | Some (t_sets, t_csr) ->
+        Printf.printf
+          "-- %-10s largest instance: csr %s sets (%.4f vs %.4f ms)\n" section
+          (if t_csr <= t_sets then "<=" else "SLOWER THAN")
+          t_csr t_sets)
+    [ "lexbfs"; "mcs"; "chordal"; "algorithm1" ];
+  let oc = open_out json_path in
+  output_string oc (kernels_json ~trials ~max_n !rows);
+  close_out oc;
+  match validate_kernels_json json_path with
+  | Ok k -> Printf.printf "wrote %s (%d sections, JSON validated)\n" json_path k
+  | Error msg ->
+    Printf.eprintf "invalid JSON written to %s: %s\n" json_path msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  let trials = ref 5 and max_n = ref 384 in
+  let json_path = ref "BENCH_kernels.json" in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--trials" :: v :: rest ->
+      trials := int_of_string v;
+      parse_args acc rest
+    | "--max-n" :: v :: rest ->
+      max_n := int_of_string v;
+      parse_args acc rest
+    | "--json" :: v :: rest ->
+      json_path := v;
+      parse_args acc rest
+    | a :: rest -> parse_args (a :: acc) rest
+  in
   let sections =
     [
       ("figures", figures_section);
@@ -794,9 +1148,13 @@ let () =
           ablation_a4 ();
           ablation_d1 () );
       ("micro", micro_section);
+      ( "kernels",
+        fun () ->
+          kernels_section ~trials:!trials ~max_n:!max_n ~json_path:!json_path
+            () );
     ]
   in
-  let wanted = List.tl (Array.to_list Sys.argv) in
+  let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let run (name, f) = if wanted = [] || List.mem name wanted then f () in
   List.iter run sections;
   Printf.printf "\nDone.\n"

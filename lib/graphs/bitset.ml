@@ -1,0 +1,150 @@
+(* Dense bitsets over [{0, ..., len - 1}], packed into OCaml's native
+   63-bit integers. The structure is mutable: the [_into] operations
+   update their first argument in place so hot loops allocate nothing;
+   the binary operations allocate a fresh result. *)
+
+let bpw = Sys.int_size (* bits per word: 63 on 64-bit platforms *)
+
+type t = { len : int; words : int array }
+
+let nwords len = (len + bpw - 1) / bpw
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative length";
+  { len; words = Array.make (nwords len) 0 }
+
+let length t = t.len
+
+let copy t = { t with words = Array.copy t.words }
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let assign ~dst ~src =
+  if dst.len <> src.len then invalid_arg "Bitset.assign: length mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+
+let add t i =
+  check t i;
+  t.words.(i / bpw) <- t.words.(i / bpw) lor (1 lsl (i mod bpw))
+
+let remove t i =
+  check t i;
+  t.words.(i / bpw) <- t.words.(i / bpw) land lnot (1 lsl (i mod bpw))
+
+(* SWAR popcount, written for 63-bit words: the usual byte-wise masks
+   are built by shifting so no literal exceeds [max_int]. *)
+let m1 = 0x55555555 lor (0x55555555 lsl 32)
+let m2 = 0x33333333 lor (0x33333333 lsl 32)
+let m4 = 0x0F0F0F0F lor (0x0F0F0F0F lsl 32)
+
+let popcount x =
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  let x = x + (x lsr 8) in
+  let x = x + (x lsr 16) in
+  let x = x + (x lsr 32) in
+  x land 0x7F
+
+let card t =
+  let acc = ref 0 in
+  for k = 0 to Array.length t.words - 1 do
+    acc := !acc + popcount t.words.(k)
+  done;
+  !acc
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b =
+  a.len = b.len && Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let check_pair a b =
+  if a.len <> b.len then invalid_arg "Bitset: length mismatch"
+
+let subset a b =
+  check_pair a b;
+  let ok = ref true in
+  for k = 0 to Array.length a.words - 1 do
+    if a.words.(k) land lnot b.words.(k) <> 0 then ok := false
+  done;
+  !ok
+
+let inter_card a b =
+  check_pair a b;
+  let acc = ref 0 in
+  for k = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(k) land b.words.(k))
+  done;
+  !acc
+
+let disjoint a b = inter_card a b = 0
+
+let map2_into f a b =
+  check_pair a b;
+  for k = 0 to Array.length a.words - 1 do
+    a.words.(k) <- f a.words.(k) b.words.(k)
+  done
+
+let union_into a b = map2_into ( lor ) a b
+let inter_into a b = map2_into ( land ) a b
+let diff_into a b = map2_into (fun x y -> x land lnot y) a b
+
+let map2 f a b =
+  let r = copy a in
+  map2_into f r b;
+  r
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+(* Number of trailing zeros of a one-bit word [b]: popcount (b - 1). *)
+let iter f t =
+  for k = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(k) in
+    while !w <> 0 do
+      let b = !w land (- !w) in
+      f ((k * bpw) + popcount (b - 1));
+      w := !w land lnot b
+    done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let min_elt_opt t =
+  let result = ref None in
+  (try
+     for k = 0 to Array.length t.words - 1 do
+       let w = t.words.(k) in
+       if w <> 0 then begin
+         result := Some ((k * bpw) + popcount ((w land (-w)) - 1));
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let of_iset ~len s =
+  let t = create len in
+  Iset.iter (fun i -> add t i) s;
+  t
+
+let to_iset t = fold Iset.add t Iset.empty
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements t)

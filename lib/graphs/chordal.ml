@@ -2,7 +2,10 @@ let default_within g = function
   | Some w -> w
   | None -> Ugraph.nodes g
 
-let is_perfect_elimination_order ?within g order =
+(* Set-based reference implementation, kept for differential testing
+   and benchmarking; the public [is_perfect_elimination_order] below is
+   the CSR port and decides exactly the same predicate. *)
+let is_perfect_elimination_order_sets ?within g order =
   let w = default_within g within in
   let pos = Hashtbl.create 16 in
   List.iteri (fun i v -> Hashtbl.replace pos v i) order;
@@ -33,6 +36,38 @@ let is_perfect_elimination_order ?within g order =
              (Ugraph.adj_within g ~within:w parent))
        order
 
+let is_perfect_elimination_order ?within g order =
+  let w = default_within g within in
+  if
+    (not (Iset.equal w (Iset.of_list order)))
+    || List.length order <> Iset.cardinal w
+  then false
+  else begin
+    let csr = Csr.of_ugraph g in
+    (* [order] enumerates exactly the nodes of [w], so [pos.(u) >= 0]
+       doubles as the membership test for [w]. *)
+    let pos = Array.make (Ugraph.n g) (-1) in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    let ok = ref true in
+    List.iter
+      (fun v ->
+        if !ok then begin
+          let i = pos.(v) in
+          let parent = ref (-1) in
+          Csr.iter_neighbors csr v (fun u ->
+              if pos.(u) > i && (!parent < 0 || pos.(u) < pos.(!parent)) then
+                parent := u);
+          if !parent >= 0 then
+            Csr.iter_neighbors csr v (fun u ->
+                if
+                  pos.(u) > i && u <> !parent
+                  && not (Csr.mem_edge csr !parent u)
+                then ok := false)
+        end)
+      order;
+    !ok
+  end
+
 let perfect_elimination_order ?within g =
   let w = default_within g within in
   let candidate = List.rev (Lexbfs.lexbfs_order ~within:w g) in
@@ -40,6 +75,11 @@ let perfect_elimination_order ?within g =
   else None
 
 let is_chordal ?within g = perfect_elimination_order ?within g <> None
+
+let is_chordal_sets ?within g =
+  let w = default_within g within in
+  let candidate = List.rev (Lexbfs.lexbfs_order_sets ~within:w g) in
+  is_perfect_elimination_order_sets ~within:w g candidate
 
 let is_chordal_brute ?within g =
   let w = default_within g within in

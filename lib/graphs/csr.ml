@@ -1,0 +1,93 @@
+(* Compressed sparse row adjacency: one flat [col] array holding every
+   neighbor list back to back, delimited by [row]. Built once from a
+   {!Ugraph} and then read-only, so traversals are cache-friendly and
+   membership is a binary search instead of a balanced-tree descent. *)
+
+type t = { n : int; m : int; row : int array; col : int array }
+
+let of_ugraph g =
+  let n = Ugraph.n g in
+  let row = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row.(u + 1) <- row.(u) + Ugraph.degree g u
+  done;
+  let col = Array.make row.(n) 0 in
+  let cursor = Array.copy row in
+  for u = 0 to n - 1 do
+    (* Iset.iter is ascending, so each row comes out sorted. *)
+    Iset.iter
+      (fun v ->
+        col.(cursor.(u)) <- v;
+        cursor.(u) <- cursor.(u) + 1)
+      (Ugraph.neighbors g u)
+  done;
+  { n; m = Ugraph.m g; row; col }
+
+let n t = t.n
+let m t = t.m
+
+let check t u =
+  if u < 0 || u >= t.n then invalid_arg "Csr: node out of range"
+
+let degree t u =
+  check t u;
+  t.row.(u + 1) - t.row.(u)
+
+let sorted_neighbors t u =
+  check t u;
+  Array.sub t.col t.row.(u) (t.row.(u + 1) - t.row.(u))
+
+let iter_neighbors t u f =
+  check t u;
+  for k = t.row.(u) to t.row.(u + 1) - 1 do
+    f t.col.(k)
+  done
+
+let fold_neighbors t u f acc =
+  check t u;
+  let acc = ref acc in
+  for k = t.row.(u) to t.row.(u + 1) - 1 do
+    acc := f !acc t.col.(k)
+  done;
+  !acc
+
+let mem_edge t u v =
+  check t u;
+  check t v;
+  let lo = ref t.row.(u) and hi = ref (t.row.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.col.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let adj_within t within u =
+  check t u;
+  if Bitset.length within <> t.n then invalid_arg "Csr.adj_within: length";
+  let out = Bitset.create t.n in
+  for k = t.row.(u) to t.row.(u + 1) - 1 do
+    let v = t.col.(k) in
+    if Bitset.mem within v then Bitset.add out v
+  done;
+  out
+
+let degree_within t within u =
+  check t u;
+  let acc = ref 0 in
+  for k = t.row.(u) to t.row.(u + 1) - 1 do
+    if Bitset.mem within t.col.(k) then incr acc
+  done;
+  !acc
+
+let to_ugraph t =
+  let b = Ugraph.Builder.create t.n in
+  for u = 0 to t.n - 1 do
+    for k = t.row.(u) to t.row.(u + 1) - 1 do
+      if u < t.col.(k) then Ugraph.Builder.add_edge b u t.col.(k)
+    done
+  done;
+  Ugraph.Builder.build b

@@ -1,0 +1,38 @@
+(** Compressed sparse row view of a {!Ugraph}.
+
+    Built once at a kernel's entry point ([of_ugraph] is O(n + m)) and
+    then read-only: neighbor lists live back to back in one flat array,
+    sorted ascending, so traversal is sequential memory access and edge
+    membership is a binary search. Pairs with {!Bitset} for the
+    [within]-restricted traversals the paper's algorithms use. *)
+
+type t
+
+val of_ugraph : Ugraph.t -> t
+
+val n : t -> int
+val m : t -> int
+
+val degree : t -> int -> int
+
+val sorted_neighbors : t -> int -> int array
+(** Fresh copy of the neighbor row, ascending. Prefer
+    {!iter_neighbors} / {!fold_neighbors} in hot loops. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Ascending order, no allocation. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val mem_edge : t -> int -> int -> bool
+(** Binary search in the neighbor row: O(log degree). *)
+
+val adj_within : t -> Bitset.t -> int -> Bitset.t
+(** [adj_within t within u]: neighbors of [u] restricted to [within]
+    (which must have length [n t]), as a fresh bitset. *)
+
+val degree_within : t -> Bitset.t -> int -> int
+(** [card (adj_within t within u)] without allocating. *)
+
+val to_ugraph : t -> Ugraph.t
+(** Round-trip back to the set-based representation (test support). *)

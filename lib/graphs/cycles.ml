@@ -89,11 +89,60 @@ let chords g cycle =
   done;
   List.rev !acc
 
-let exists_cycle_with_few_chords g ~min_len ~max_chords =
+let exists_cycle_with_few_chords_sets g ~min_len ~max_chords =
   let exception Found in
   try
     iter_simple_cycles ~min_len g (fun c ->
         if List.length (chords g c) <= max_chords then raise Found);
+    false
+  with Found -> true
+
+(* CSR kernel for the same witness search. Paths start at the cycle's
+   smallest node [s] and only use nodes greater than [s]; the chord
+   count is maintained incrementally so branches that already exceed
+   [max_chords] are pruned: an edge from the new path node to any
+   earlier path node other than its predecessor or [s] stays
+   non-consecutive in every cycle completing the path, hence is a chord
+   of all of them. Chords incident to [s] are charged when the cycle
+   closes ([s]'s cycle neighbors are the second and the last node). *)
+let exists_cycle_with_few_chords g ~min_len ~max_chords =
+  let csr = Csr.of_ugraph g in
+  let n = Ugraph.n g in
+  let min_len = max 3 min_len in
+  let on_path = Array.make n false in
+  let posn = Array.make n (-1) in
+  let exception Found in
+  let rec extend s depth last nchords =
+    Csr.iter_neighbors csr last (fun v ->
+        if v = s && depth >= min_len then begin
+          let s_chords = ref 0 in
+          Csr.iter_neighbors csr s (fun u ->
+              if on_path.(u) && posn.(u) >= 2 && posn.(u) <= depth - 2 then
+                incr s_chords);
+          if nchords + !s_chords <= max_chords then raise Found
+        end
+        else if v > s && not on_path.(v) then begin
+          let extra = ref 0 in
+          Csr.iter_neighbors csr v (fun u ->
+              if on_path.(u) && u <> last && u <> s then incr extra);
+          let nchords = nchords + !extra in
+          if nchords <= max_chords then begin
+            on_path.(v) <- true;
+            posn.(v) <- depth;
+            extend s (depth + 1) v nchords;
+            on_path.(v) <- false;
+            posn.(v) <- -1
+          end
+        end)
+  in
+  try
+    for s = 0 to n - 1 do
+      on_path.(s) <- true;
+      posn.(s) <- 0;
+      extend s 1 s 0;
+      on_path.(s) <- false;
+      posn.(s) <- -1
+    done;
     false
   with Found -> true
 

@@ -15,7 +15,110 @@ type result = {
   elimination_order : int list;
 }
 
-let solve g ~p =
+(* Step 2 of the algorithm, set-based reference: scan the Lemma 1
+   ordering and delete each right node together with its private left
+   neighbors whenever the remainder still covers the terminals. A
+   single pass can leave a right node that was only blocked by
+   structure deleted later in the same pass (covers must be connected
+   as a whole); re-scan in the same W order until a fixpoint so the
+   result is V2-nonredundant as Theorem 3's proof requires. *)
+let eliminate_sets u ~comp ~p w_order =
+  let step current v =
+    if not (Iset.mem v current) then current
+    else begin
+      let doomed =
+        Iset.add v (Ugraph.private_neighbors u ~within:current v)
+      in
+      if not (Iset.is_empty (Iset.inter doomed p)) then current
+      else
+        let candidate = Iset.diff current doomed in
+        if Cover.is_cover u ~p candidate then begin
+          Log.debug (fun m ->
+              m "eliminating right node %d with Adj* %a" v Iset.pp
+                (Iset.remove v doomed));
+          candidate
+        end
+        else current
+    end
+  in
+  let rec fixpoint current =
+    let next = List.fold_left step current w_order in
+    if Iset.equal next current then current else fixpoint next
+  in
+  fixpoint comp
+
+(* The same elimination on the flat kernels: adjacency from a CSR row,
+   node sets as dense bitsets, connectivity by an array-based BFS. All
+   scratch structures are allocated once; the decisions taken are
+   exactly those of [eliminate_sets]. *)
+let eliminate_kernel u ~comp ~p w_order =
+  let n = Ugraph.n u in
+  let csr = Csr.of_ugraph u in
+  let current = Bitset.of_iset ~len:n comp in
+  let pb = Bitset.of_iset ~len:n p in
+  let doomed = Bitset.create n in
+  let candidate = Bitset.create n in
+  let queue = Array.make n 0 in
+  let seen = Array.make n 0 in
+  let generation = ref 0 in
+  let connected within =
+    match Bitset.min_elt_opt within with
+    | None -> true
+    | Some s ->
+      incr generation;
+      let gen = !generation in
+      seen.(s) <- gen;
+      queue.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let x = queue.(!head) in
+        incr head;
+        Csr.iter_neighbors csr x (fun y ->
+            if seen.(y) <> gen && Bitset.mem within y then begin
+              seen.(y) <- gen;
+              queue.(!tail) <- y;
+              incr tail
+            end)
+      done;
+      !tail = Bitset.card within
+  in
+  let step v =
+    if Bitset.mem current v then begin
+      Bitset.clear doomed;
+      Bitset.add doomed v;
+      Csr.iter_neighbors csr v (fun u ->
+          if Bitset.mem current u then begin
+            let private_to_v = ref true in
+            Csr.iter_neighbors csr u (fun w ->
+                if w <> v && Bitset.mem current w then private_to_v := false);
+            if !private_to_v then Bitset.add doomed u
+          end);
+      if Bitset.disjoint doomed pb then begin
+        Bitset.assign ~dst:candidate ~src:current;
+        Bitset.diff_into candidate doomed;
+        if Bitset.subset pb candidate && connected candidate then begin
+          Log.debug (fun m ->
+              m "eliminating right node %d with Adj* %a" v Bitset.pp
+                (let adj = Bitset.copy doomed in
+                 Bitset.remove adj v;
+                 adj));
+          Bitset.assign ~dst:current ~src:candidate;
+          true
+        end
+        else false
+      end
+      else false
+    end
+    else false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter (fun v -> if step v then changed := true) w_order
+  done;
+  Bitset.to_iset current
+
+let solve_with ~eliminate g ~p =
   let u = Bigraph.ugraph g in
   match Traverse.component_containing u p with
   | None -> Error Disconnected_terminals
@@ -51,34 +154,7 @@ let solve g ~p =
         Log.debug (fun m ->
             m "Lemma 1 ordering W = [%s]"
               (String.concat "; " (List.map string_of_int w_order)));
-        let step current v =
-          if not (Iset.mem v current) then current
-          else begin
-            let doomed =
-              Iset.add v (Ugraph.private_neighbors u ~within:current v)
-            in
-            if not (Iset.is_empty (Iset.inter doomed p)) then current
-            else
-              let candidate = Iset.diff current doomed in
-              if Cover.is_cover u ~p candidate then begin
-                Log.debug (fun m ->
-                    m "eliminating right node %d with Adj* %a" v Iset.pp
-                      (Iset.remove v doomed));
-                candidate
-              end
-              else current
-          end
-        in
-        (* A single pass can leave a right node that was only blocked
-           by structure deleted later in the same pass (covers must be
-           connected as a whole); re-scan in the same W order until a
-           fixpoint so the result is V2-nonredundant as Theorem 3's
-           proof requires. *)
-        let rec fixpoint current =
-          let next = List.fold_left step current w_order in
-          if Iset.equal next current then current else fixpoint next
-        in
-        let survivors = fixpoint comp in
+        let survivors = eliminate u ~comp ~p w_order in
         (match Tree.of_node_set u survivors with
         | None -> assert false (* elimination preserves connectivity *)
         | Some tree ->
@@ -89,6 +165,10 @@ let solve g ~p =
               elimination_order = w_order;
             })
     end
+
+let solve g ~p = solve_with ~eliminate:eliminate_kernel g ~p
+
+let solve_sets g ~p = solve_with ~eliminate:eliminate_sets g ~p
 
 let solve_wrt_v1 g ~p =
   let flipped = Bigraph.flip g in

@@ -30,7 +30,14 @@ type result = {
 }
 
 val solve : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
-(** [p] contains underlying indices (left or right nodes). *)
+(** [p] contains underlying indices (left or right nodes). The
+    elimination loop (Step 2) runs on flat [Graphs.Csr] adjacency and
+    [Graphs.Bitset] node sets. *)
+
+val solve_sets : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
+(** Set-based reference for the elimination loop; takes exactly the
+    same elimination decisions as {!solve} and returns the same result.
+    Differential-testing and benchmarking only. *)
 
 val solve_wrt_v1 : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
 (** Same algorithm on the flipped graph: minimises left nodes, licensed

@@ -2,6 +2,9 @@ type t = Random.State.t
 
 let make ~seed = Random.State.make [| seed; 0x6d696e63; 0x6f6e6e |]
 
+let for_trial ~section ~trial =
+  Random.State.make [| Hashtbl.hash section; trial; 0x6d696e63; 0x6f6e6e |]
+
 let int t bound =
   if bound < 1 then invalid_arg "Rng.int: bound must be positive";
   Random.State.int t bound

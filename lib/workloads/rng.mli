@@ -7,6 +7,12 @@ type t
 
 val make : seed:int -> t
 
+val for_trial : section:string -> trial:int -> t
+(** One deterministic stream per (section, trial) pair — the single
+    seeding helper shared by the bench harness and the examples, so a
+    given trial of a given experiment sees the same randomness run to
+    run regardless of what other sections consumed before it. *)
+
 val int : t -> int -> int
 (** [int t bound] in [0, bound); [bound >= 1]. *)
 

@@ -1,0 +1,264 @@
+(* Differential coverage for the flat CSR/bitset kernel layer: every
+   port must agree exactly with the original set-based implementation
+   it replaced, on random workload instances. Bitset itself is tested
+   against Iset as the model. *)
+
+open Graphs
+open Steiner
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let graph_of_seed ?(max_n = 12) seed =
+  let rng = Workloads.Rng.make ~seed in
+  let n = 1 + Workloads.Rng.int rng max_n in
+  Workloads.Gen_graph.gnp rng ~n ~p:0.35
+
+(* ------------------------------------------------------------ Bitset *)
+
+(* Random add/remove trajectory, replayed against Iset: after every
+   operation the two must describe the same set. *)
+let prop_bitset_model =
+  QCheck2.Test.make ~count:500 ~name:"Bitset add/remove mirrors Iset"
+    seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let len = 1 + Workloads.Rng.int rng 200 in
+      let bs = Bitset.create len in
+      let model = ref Iset.empty in
+      let steps = Workloads.Rng.int rng 60 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let i = Workloads.Rng.int rng len in
+        if Workloads.Rng.bool rng 0.6 then begin
+          Bitset.add bs i;
+          model := Iset.add i !model
+        end
+        else begin
+          Bitset.remove bs i;
+          model := Iset.remove i !model
+        end;
+        ok :=
+          !ok
+          && Bitset.card bs = Iset.cardinal !model
+          && Bitset.mem bs i = Iset.mem i !model
+      done;
+      !ok
+      && Iset.equal (Bitset.to_iset bs) !model
+      && Bitset.elements bs = Iset.elements !model
+      && Bitset.fold (fun i acc -> acc + i) bs 0
+         = Iset.fold (fun i acc -> acc + i) !model 0
+      && Bitset.min_elt_opt bs = Iset.min_elt_opt !model
+      && Bitset.is_empty bs = Iset.is_empty !model)
+
+let random_subset rng len =
+  let s = ref Iset.empty in
+  for i = 0 to len - 1 do
+    if Workloads.Rng.bool rng 0.4 then s := Iset.add i !s
+  done;
+  !s
+
+let prop_bitset_binops =
+  QCheck2.Test.make ~count:500
+    ~name:"Bitset inter/union/diff/inter_card/subset mirror Iset" seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let len = 1 + Workloads.Rng.int rng 150 in
+      let a = random_subset rng len and b = random_subset rng len in
+      let ba = Bitset.of_iset ~len a and bb = Bitset.of_iset ~len b in
+      let agree op bop =
+        Iset.equal (op a b) (Bitset.to_iset (bop ba bb))
+      in
+      let into_agree op bop_into =
+        let scratch = Bitset.copy ba in
+        bop_into scratch bb;
+        Iset.equal (op a b) (Bitset.to_iset scratch)
+      in
+      agree Iset.inter Bitset.inter
+      && agree Iset.union Bitset.union
+      && agree Iset.diff Bitset.diff
+      && into_agree Iset.inter Bitset.inter_into
+      && into_agree Iset.union Bitset.union_into
+      && into_agree Iset.diff Bitset.diff_into
+      && Bitset.inter_card ba bb = Iset.cardinal (Iset.inter a b)
+      && Bitset.subset ba bb = Iset.subset a b
+      && Bitset.disjoint ba bb = Iset.is_empty (Iset.inter a b)
+      && Bitset.equal ba bb = Iset.equal a b)
+
+(* --------------------------------------------------------------- Csr *)
+
+let prop_csr_construction =
+  QCheck2.Test.make ~count:500
+    ~name:"Csr: rows sorted, degree sum = 2m, mem_edge symmetric" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~max_n:20 seed in
+      let csr = Csr.of_ugraph g in
+      let n = Ugraph.n g in
+      let sorted_rows = ref true and degree_sum = ref 0 in
+      for u = 0 to n - 1 do
+        let row = Csr.sorted_neighbors csr u in
+        degree_sum := !degree_sum + Array.length row;
+        for k = 1 to Array.length row - 1 do
+          if row.(k - 1) >= row.(k) then sorted_rows := false
+        done;
+        if Array.length row <> Csr.degree csr u then sorted_rows := false
+      done;
+      let mem_agrees = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if
+            Csr.mem_edge csr u v <> Csr.mem_edge csr v u
+            || (u <> v && Csr.mem_edge csr u v <> Ugraph.mem_edge g u v)
+          then mem_agrees := false
+        done
+      done;
+      !sorted_rows
+      && !degree_sum = 2 * Ugraph.m g
+      && Csr.n csr = n
+      && Csr.m csr = Ugraph.m g
+      && !mem_agrees
+      && Ugraph.equal (Csr.to_ugraph csr) g)
+
+(* ---------------------------------------------------- LexBFS and MCS *)
+
+(* The kernels use the same greedy rule and tie-breaking as the
+   set-based originals, so the orders must be identical — also under a
+   [within] restriction and an explicit start node. *)
+let restriction_of_seed g seed =
+  let rng = Workloads.Rng.make ~seed:(seed + 7) in
+  let within =
+    if Workloads.Rng.bool rng 0.5 then None
+    else Some (random_subset rng (Ugraph.n g))
+  in
+  let start =
+    if Workloads.Rng.bool rng 0.5 then None
+    else Some (Workloads.Rng.int rng (Ugraph.n g))
+  in
+  (within, start)
+
+let prop_lexbfs_equal =
+  QCheck2.Test.make ~count:500 ~name:"CSR LexBFS = set-based LexBFS"
+    seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~max_n:20 seed in
+      let within, start = restriction_of_seed g seed in
+      Lexbfs.lexbfs_order ?within ?start g
+      = Lexbfs.lexbfs_order_sets ?within ?start g)
+
+let prop_mcs_equal =
+  QCheck2.Test.make ~count:500 ~name:"CSR MCS = set-based MCS" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~max_n:20 seed in
+      let within, start = restriction_of_seed g seed in
+      Lexbfs.mcs_order ?within ?start g
+      = Lexbfs.mcs_order_sets ?within ?start g)
+
+(* --------------------------------------------------------- Chordality *)
+
+let prop_chordal_equal =
+  QCheck2.Test.make ~count:500
+    ~name:"kernel is_chordal = set-based = brute force" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~max_n:10 seed in
+      let kernel = Chordal.is_chordal g in
+      kernel = Chordal.is_chordal_sets g
+      && kernel = Chordal.is_chordal_brute g)
+
+let prop_peo_check_equal =
+  QCheck2.Test.make ~count:500
+    ~name:"kernel PEO check = set-based on arbitrary orders" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~max_n:12 seed in
+      let rng = Workloads.Rng.make ~seed:(seed + 13) in
+      (* Random permutations are usually not PEOs, so this exercises
+         both the accepting and the rejecting paths of the checker. *)
+      let order =
+        Workloads.Rng.shuffle rng (Iset.elements (Ugraph.nodes g))
+      in
+      Chordal.is_perfect_elimination_order g order
+      = Chordal.is_perfect_elimination_order_sets g order)
+
+(* ------------------------------------------------- Cycle/chord scan *)
+
+let prop_chord_scan_equal =
+  QCheck2.Test.make ~count:500
+    ~name:"kernel chord-bounded cycle scan = set-based" seed_gen
+    (fun seed ->
+      let g = graph_of_seed ~max_n:9 seed in
+      let rng = Workloads.Rng.make ~seed:(seed + 29) in
+      let min_len = 4 + (2 * Workloads.Rng.int rng 2) in
+      let max_chords = Workloads.Rng.int rng 3 in
+      Cycles.exists_cycle_with_few_chords g ~min_len ~max_chords
+      = Cycles.exists_cycle_with_few_chords_sets g ~min_len ~max_chords)
+
+(* --------------------------------------------------- Hyperedge MCS *)
+
+let prop_edge_mcs_equal =
+  QCheck2.Test.make ~count:500
+    ~name:"bitset hyperedge MCS = set-based (order and RIP verdict)"
+    seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let h =
+        Workloads.Gen_hyper.random rng
+          ~n_nodes:(2 + Workloads.Rng.int rng 8)
+          ~n_edges:(1 + Workloads.Rng.int rng 8)
+          ~max_size:5
+      in
+      let start =
+        if Workloads.Rng.bool rng 0.5 then None
+        else Some (Workloads.Rng.int rng (Hypergraphs.Hypergraph.n_edges h))
+      in
+      Hypergraphs.Mcs.edge_order ?start h
+      = Hypergraphs.Mcs.edge_order_sets ?start h)
+
+(* --------------------------------------------------------- Algorithm 1 *)
+
+let prop_algorithm1_equal =
+  QCheck2.Test.make ~count:500
+    ~name:"Algorithm 1 kernel elimination = set-based (full result)"
+    seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      (* Alternate between in-class instances (success path) and
+         arbitrary bipartite graphs (error paths). *)
+      let g =
+        if seed mod 2 = 0 then
+          Workloads.Gen_bipartite.alpha_bipartite rng
+            ~n_right:(2 + Workloads.Rng.int rng 5)
+            ~max_size:4
+        else
+          Workloads.Gen_bipartite.gnp rng
+            ~nl:(2 + Workloads.Rng.int rng 5)
+            ~nr:(1 + Workloads.Rng.int rng 5)
+            ~p:0.4
+      in
+      let p =
+        Workloads.Gen_bipartite.random_terminals rng g
+          ~k:(2 + Workloads.Rng.int rng 3)
+      in
+      match (Algorithm1.solve g ~p, Algorithm1.solve_sets g ~p) with
+      | Error e, Error e' -> e = e'
+      | Ok r, Ok r' ->
+        Iset.equal r.Algorithm1.tree.Tree.nodes r'.Algorithm1.tree.Tree.nodes
+        && r.Algorithm1.tree.Tree.edges = r'.Algorithm1.tree.Tree.edges
+        && r.Algorithm1.v2_count = r'.Algorithm1.v2_count
+        && r.Algorithm1.elimination_order = r'.Algorithm1.elimination_order
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let qcheck_cases =
+  [
+    prop_bitset_model;
+    prop_bitset_binops;
+    prop_csr_construction;
+    prop_lexbfs_equal;
+    prop_mcs_equal;
+    prop_chordal_equal;
+    prop_peo_check_equal;
+    prop_chord_scan_equal;
+    prop_edge_mcs_equal;
+    prop_algorithm1_equal;
+  ]
+
+let () =
+  Alcotest.run "kernels"
+    [ ("differential", List.map QCheck_alcotest.to_alcotest qcheck_cases) ]
