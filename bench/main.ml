@@ -799,7 +799,7 @@ let time_mean ~trials f =
   done;
   !total /. float_of_int trials
 
-let kernels_json ~trials ~max_n rows =
+let kernels_json ~schema ~trials ~max_n rows =
   let escape s =
     let b = Buffer.create (String.length s) in
     String.iter
@@ -819,7 +819,7 @@ let kernels_json ~trials ~max_n rows =
       [] rows
   in
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"minconn-bench-kernels/1\",\n";
+  Printf.bprintf b "{\n  \"schema\": \"%s\",\n" (escape schema);
   Printf.bprintf b "  \"trials\": %d,\n  \"max_n\": %d,\n  \"sections\": {\n"
     trials max_n;
   List.iteri
@@ -1095,7 +1095,82 @@ let kernels_section ~trials ~max_n ~json_path () =
           t_csr t_sets)
     [ "lexbfs"; "mcs"; "chordal"; "algorithm1" ];
   let oc = open_out json_path in
-  output_string oc (kernels_json ~trials ~max_n !rows);
+  output_string oc
+    (kernels_json ~schema:"minconn-bench-kernels/1" ~trials ~max_n !rows);
+  close_out oc;
+  match validate_kernels_json json_path with
+  | Ok k -> Printf.printf "wrote %s (%d sections, JSON validated)\n" json_path k
+  | Error msg ->
+    Printf.eprintf "invalid JSON written to %s: %s\n" json_path msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Section: runtime                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Budget-check overhead: the same solver call with the default
+   unlimited budget (fast path: one load + branch per checkpoint)
+   versus an armed but effectively inexhaustible budget (full slow
+   path: fuel decrement plus a wall-clock poll every stride). The
+   delta bounds what cooperative cancellation costs in the hot loops;
+   the target is <= 3% on the instances that matter (the largest per
+   section). Rows share the kernels JSON shape so the same validator
+   covers BENCH_runtime.json. *)
+let runtime_section ~trials ~max_n ~json_path () =
+  header "runtime: budget-check overhead (unlimited vs armed budget)";
+  Printf.printf "%-12s %-10s %6s %8s %12s\n" "section" "impl" "|V|" "|E|"
+    "mean ms";
+  let rows = ref [] in
+  (* Inexhaustible but still [limited]: fuel <> max_int forces the
+     decrement, no deadline avoids gettimeofday in Budget.make. *)
+  let generous () = Minconn.Budget.make ~fuel:1_000_000_000 () in
+  let largest = ref [] in
+  let pair ~section ~n ~m base budgeted =
+    let run impl f =
+      let ms = time_mean ~trials f in
+      Printf.printf "%-12s %-10s %6d %8d %12.4f\n%!" section impl n m ms;
+      rows := !rows @ [ (section, (impl, n, m, trials, ms)) ];
+      ms
+    in
+    let t_base = run "unlimited" base in
+    let t_budget = run "budgeted" budgeted in
+    largest :=
+      (section, (t_base, t_budget)) :: List.remove_assoc section !largest
+  in
+  let sizes l = List.filter (fun x -> x <= max_n) l in
+  List.iter
+    (fun n_right ->
+      let rng = trial ~section:"runtime-alg2" n_right in
+      let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:5 in
+      let u = Bigraph.ugraph g in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:5 in
+      pair ~section:"algorithm2" ~n:(Bigraph.n g) ~m:(Bigraph.m g)
+        (fun () -> Algorithm2.solve u ~p)
+        (fun () -> Algorithm2.solve ~budget:(generous ()) u ~p))
+    (sizes [ 20; 40; 80; 160 ]);
+  List.iter
+    (fun nsz ->
+      let rng = trial ~section:"runtime-dw" nsz in
+      let g = Workloads.Gen_bipartite.gnp rng ~nl:nsz ~nr:nsz ~p:0.3 in
+      let u = Bigraph.ugraph g in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:8 in
+      if Iset.cardinal p >= 2 then
+        pair ~section:"dreyfus" ~n:(Bigraph.n g) ~m:(Bigraph.m g)
+          (fun () -> Dreyfus_wagner.solve u ~terminals:p)
+          (fun () ->
+            Dreyfus_wagner.solve ~budget:(generous ()) u ~terminals:p))
+    (sizes [ 10; 12; 14 ]);
+  List.iter
+    (fun (section, (t_base, t_budget)) ->
+      let ratio = if t_base > 0.0 then t_budget /. t_base else 1.0 in
+      Printf.printf
+        "-- %-12s largest instance: budgeted/unlimited = %.4f (target <= 1.03)%s\n"
+        section ratio
+        (if ratio <= 1.03 then "" else "  OVER TARGET"))
+    (List.rev !largest);
+  let oc = open_out json_path in
+  output_string oc
+    (kernels_json ~schema:"minconn-bench-runtime/1" ~trials ~max_n !rows);
   close_out oc;
   match validate_kernels_json json_path with
   | Ok k -> Printf.printf "wrote %s (%d sections, JSON validated)\n" json_path k
@@ -1108,6 +1183,7 @@ let kernels_section ~trials ~max_n ~json_path () =
 let () =
   let trials = ref 5 and max_n = ref 384 in
   let json_path = ref "BENCH_kernels.json" in
+  let runtime_json_path = ref "BENCH_runtime.json" in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--trials" :: v :: rest ->
@@ -1118,6 +1194,9 @@ let () =
       parse_args acc rest
     | "--json" :: v :: rest ->
       json_path := v;
+      parse_args acc rest
+    | "--runtime-json" :: v :: rest ->
+      runtime_json_path := v;
       parse_args acc rest
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -1152,6 +1231,10 @@ let () =
         fun () ->
           kernels_section ~trials:!trials ~max_n:!max_n ~json_path:!json_path
             () );
+      ( "runtime",
+        fun () ->
+          runtime_section ~trials:!trials ~max_n:!max_n
+            ~json_path:!runtime_json_path () );
     ]
   in
   let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in

@@ -24,11 +24,16 @@ let load_bigraph path =
   | Ok nb -> Ok nb
   | Error e -> Error (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e)
 
+(* Exit-code contract (documented in README "Budgets and graceful
+   degradation"): 0 solved-exact, 2 solved-degraded, 3 no cover,
+   4 input error, 5 budget exhausted under --no-degrade. *)
+let exit_input_error = 4
+
 let or_die = function
   | Ok v -> v
   | Error msg ->
     prerr_endline msg;
-    exit 1
+    exit exit_input_error
 
 (* ------------------------------------------------------------ classify *)
 
@@ -58,30 +63,56 @@ let print_tree nb (tree : Tree.t) =
     (fun (a, b) -> Printf.printf "  %s -- %s\n" (name_of nb a) (name_of nb b))
     tree.Tree.edges
 
+(* One structured stderr line per ladder event, greppable key=value. *)
+let report_provenance prov =
+  let module D = Minconn.Degrade in
+  let module E = Minconn.Errors in
+  List.iter
+    (fun a ->
+      Printf.eprintf "minconn: rung=%s status=abandoned reason=%s\n%!"
+        (E.rung_name a.D.rung) (D.reason_name a.D.why))
+    prov.D.attempts;
+  Printf.eprintf "minconn: rung=%s status=ran guarantee=%s\n%!"
+    (E.rung_name prov.D.ran)
+    (D.guarantee_name prov.D.guarantee)
+
 let solve_cmd =
-  let run path terminals =
+  let run path terminals timeout_ms fuel no_degrade =
     let nb = or_die (load_bigraph path) in
     let p =
       match Mc_io.Parse.name_set nb terminals with
       | Ok p -> p
       | Error n ->
-        prerr_endline ("unknown terminal: " ^ n);
-        exit 1
+        Printf.eprintf "minconn: error=unknown-terminal name=%s\n" n;
+        exit exit_input_error
     in
-    match Minconn.solve_steiner nb.Mc_io.Parse.graph ~p with
-    | None ->
-      prerr_endline "terminals are not connected";
-      exit 1
-    | Some s ->
+    let budget =
+      match (timeout_ms, fuel) with
+      | None, None -> Minconn.Budget.unlimited
+      | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
+    in
+    match
+      Minconn.solve ~budget ~degrade:(not no_degrade) nb.Mc_io.Parse.graph ~p
+    with
+    | Error e ->
+      Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
+      exit (Minconn.Errors.exit_code e)
+    | Ok s ->
       let how =
         match s.Minconn.method_used with
         | Minconn.Used_forest -> "forest paths (exact and unique)"
         | Minconn.Used_algorithm2 -> "Algorithm 2 (exact, Theorem 5)"
         | Minconn.Used_exact_dp -> "Dreyfus-Wagner (exact)"
         | Minconn.Used_elimination -> "nonredundant elimination (heuristic)"
+        | Minconn.Used_mst_approx -> "MST approximation (ratio <= 2)"
       in
       Printf.printf "method: %s\n" how;
-      print_tree nb s.Minconn.tree
+      print_tree nb s.Minconn.tree;
+      let degraded = Minconn.Degrade.degraded s.Minconn.provenance in
+      if degraded then begin
+        report_provenance s.Minconn.provenance;
+        exit 2
+      end
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let terminals =
@@ -90,9 +121,33 @@ let solve_cmd =
       & info [ "t"; "terminals" ] ~docv:"NAMES"
           ~doc:"Comma-separated object names to connect")
   in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:"Wall-clock budget in milliseconds; on exhaustion the \
+                solver degrades down the ladder (see --no-degrade)")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Fuel budget: elimination steps / DP subset expansions")
+  in
+  let no_degrade =
+    Arg.(
+      value & flag
+      & info [ "no-degrade" ]
+          ~doc:"Fail with exit code 5 instead of degrading to a weaker \
+                rung when the budget is exhausted")
+  in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Find a minimal connection over the terminals")
-    Term.(const run $ path $ terminals)
+    (Cmd.info "solve"
+       ~doc:
+         "Find a minimal connection over the terminals. Exit codes: 0 \
+          solved exactly, 2 solved degraded, 3 no cover, 4 input error, \
+          5 budget exhausted with --no-degrade.")
+    Term.(const run $ path $ terminals $ timeout_ms $ fuel $ no_degrade)
 
 let relations_cmd =
   let run path terminals =
@@ -102,7 +157,7 @@ let relations_cmd =
       | Ok p -> p
       | Error n ->
         prerr_endline ("unknown terminal: " ^ n);
-        exit 1
+        exit exit_input_error
     in
     match Algorithm1.solve nb.Mc_io.Parse.graph ~p with
     | Ok r ->
@@ -110,12 +165,12 @@ let relations_cmd =
       print_tree nb r.Algorithm1.tree
     | Error Algorithm1.Disconnected_terminals ->
       prerr_endline "terminals are not connected";
-      exit 1
+      exit (Minconn.Errors.exit_code Minconn.Errors.Disconnected_terminals)
     | Error Algorithm1.Not_alpha_acyclic ->
       prerr_endline
         "scheme is not alpha-acyclic (V2-chordal V2-conformal): Algorithm 1 \
          does not apply";
-      exit 1
+      exit exit_input_error
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let terminals =
@@ -137,7 +192,7 @@ let interpretations_cmd =
       | Ok p -> p
       | Error n ->
         prerr_endline ("unknown terminal: " ^ n);
-        exit 1
+        exit exit_input_error
     in
     let trees =
       Kbest.enumerate ~max_trees:k (Bigraph.ugraph nb.Mc_io.Parse.graph)
@@ -145,7 +200,7 @@ let interpretations_cmd =
     in
     if trees = [] then begin
       prerr_endline "terminals are not connected";
-      exit 1
+      exit (Minconn.Errors.exit_code Minconn.Errors.Disconnected_terminals)
     end;
     List.iteri
       (fun i tree ->
@@ -175,7 +230,7 @@ let repair_cmd =
     match Mc_io.Parse.schema_of_string text with
     | Error e ->
       prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
-      exit 1
+      exit exit_input_error
     | Ok schema -> print_string (Datamodel.Repair.report schema)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -192,12 +247,12 @@ let ask_cmd =
     match Mc_io.Parse.database_of_string text with
     | Error e ->
       prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
-      exit 1
+      exit exit_input_error
     | Ok db -> (
       match Mc_io.Parse.query_of_string query_text with
       | Error e ->
         prerr_endline (Format.asprintf "query: %a" Mc_io.Parse.pp_error e);
-        exit 1
+        exit exit_input_error
       | Ok (objects, where) -> (
         match Datamodel.Interface.answer db ~where ~query:objects with
         | Ok a ->
@@ -208,13 +263,13 @@ let ask_cmd =
           Format.printf "%a@." Relalg.Relation.pp a.Datamodel.Interface.result
         | Error (Datamodel.Query.Unknown_object o) ->
           prerr_endline ("unknown object: " ^ o);
-          exit 1
+          exit exit_input_error
         | Error Datamodel.Query.Disconnected ->
           prerr_endline "objects cannot be connected";
-          exit 1
+          exit (Minconn.Errors.exit_code Minconn.Errors.Disconnected_terminals)
         | Error (Datamodel.Query.Not_applicable m) ->
           prerr_endline m;
-          exit 1))
+          exit exit_input_error))
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DBFILE") in
   let query =
@@ -245,7 +300,7 @@ let generate_cmd =
       | other ->
         prerr_endline
           ("unknown class '" ^ other ^ "' (use forest|62|61|alpha|gnp)");
-        exit 1
+        exit exit_input_error
     in
     let nb =
       {
@@ -278,7 +333,7 @@ let hypergraph_cmd =
     match Mc_io.Parse.hypergraph_of_string text with
     | Error e ->
       prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
-      exit 1
+      exit exit_input_error
     | Ok (h, _, edge_names) ->
       let module A = Hypergraphs.Acyclicity in
       Printf.printf "degree: %s\n" (A.degree_name (A.degree h));

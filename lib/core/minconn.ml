@@ -31,43 +31,152 @@ module Layered = Datamodel.Layered
 module Repair = Datamodel.Repair
 module Figures = Datamodel.Figures
 
+module Budget = Runtime.Budget
+module Degrade = Runtime.Degrade
+module Errors = Runtime.Errors
+
 type method_used =
   | Used_forest
   | Used_algorithm2
   | Used_exact_dp
   | Used_elimination
+  | Used_mst_approx
 
 type solution = {
   tree : Tree.t;
   method_used : method_used;
   optimal : bool;
   profile : Classify.profile;
+  provenance : Degrade.provenance;
 }
 
-let solve_steiner g ~p =
-  let profile = Classify.profile g in
+(* One rung of the degradation ladder: identity for provenance, the
+   method tag and guarantee reported on success, and the solver thunk
+   (the only place the internal Budget.Exhausted signal can arise). *)
+type rung_spec = {
+  rung : Errors.rung;
+  meth : method_used;
+  guarantee : Degrade.guarantee;
+  run : unit -> Tree.t option;
+}
+
+(* The cheap connectivity rejection runs before the classifier, and the
+   profile is computed exactly once and reused by every rung. *)
+let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
   let u = Bigraph.ugraph g in
-  if not (Traverse.connects u p) then None
-  else if profile.Classify.chordal_41 then
-    match Steiner.Forest_steiner.solve u ~terminals:p with
-    | Some tree ->
-      Some { tree; method_used = Used_forest; optimal = true; profile }
-    | None -> None
-  else if profile.Classify.chordal_62 then
-    match Algorithm2.solve u ~p with
-    | Some tree ->
-      Some { tree; method_used = Used_algorithm2; optimal = true; profile }
-    | None -> None
-  else if Iset.cardinal p <= Dreyfus_wagner.max_terminals then
-    match Dreyfus_wagner.solve u ~terminals:p with
-    | Some tree ->
-      Some { tree; method_used = Used_exact_dp; optimal = true; profile }
-    | None -> None
-  else
-    match Algorithm2.solve u ~p with
-    | Some tree ->
-      Some { tree; method_used = Used_elimination; optimal = false; profile }
-    | None -> None
+  if Iset.is_empty p then Error (Errors.Invalid_instance "empty terminal set")
+  else if not (Iset.subset p (Ugraph.nodes u)) then
+    Error (Errors.Invalid_instance "terminal index out of range")
+  else if not (Traverse.connects u p) then Error Errors.Disconnected_terminals
+  else begin
+    let profile = Classify.profile g in
+    let mst_rung =
+      {
+        rung = Errors.Mst;
+        meth = Used_mst_approx;
+        guarantee = Degrade.Ratio 2.0;
+        run = (fun () -> Mst_approx.solve u ~terminals:p);
+      }
+    in
+    let fixpoint_rung =
+      {
+        rung = Errors.Fixpoint;
+        meth = Used_elimination;
+        guarantee = Degrade.Heuristic;
+        run = (fun () -> Algorithm2.solve ~budget u ~p);
+      }
+    in
+    let pre_attempts, ladder =
+      if profile.Classify.chordal_41 then
+        ( [],
+          [
+            {
+              rung = Errors.Exact_structured;
+              meth = Used_forest;
+              guarantee = Degrade.Exact;
+              run = (fun () -> Steiner.Forest_steiner.solve u ~terminals:p);
+            };
+            mst_rung;
+          ] )
+      else if profile.Classify.chordal_62 then
+        (* Algorithm 2 is exact here (Theorem 5); its elimination
+           fixpoint is what the budget meters, and on exhaustion the
+           only rung left is the approximation. *)
+        ( [],
+          [
+            {
+              rung = Errors.Exact_structured;
+              meth = Used_algorithm2;
+              guarantee = Degrade.Exact;
+              run = (fun () -> Algorithm2.solve ~budget u ~p);
+            };
+            mst_rung;
+          ] )
+      else if Iset.cardinal p <= Dreyfus_wagner.max_terminals then
+        ( [],
+          [
+            {
+              rung = Errors.Exact_dp;
+              meth = Used_exact_dp;
+              guarantee = Degrade.Exact;
+              run = (fun () -> Dreyfus_wagner.solve ~budget u ~terminals:p);
+            };
+            fixpoint_rung;
+            mst_rung;
+          ] )
+      else
+        (* The exact DP was never attempted: say so in the provenance
+           instead of silently reporting [optimal = false]. *)
+        ( [
+            {
+              Degrade.rung = Errors.Exact_dp;
+              why = Degrade.Terminals_over_cap;
+            };
+          ],
+          [ fixpoint_rung; mst_rung ] )
+    in
+    let rec descend attempts = function
+      | [] ->
+        (* Unreachable with a connected [p]: the MST rung is
+           un-budgeted and total. Report the last abandoned rung. *)
+        Error
+          (Errors.Budget_exhausted
+             (match attempts with
+             | { Degrade.rung; _ } :: _ -> rung
+             | [] -> Errors.Mst))
+      | spec :: rest -> (
+        match spec.run () with
+        | Some tree ->
+          let provenance =
+            {
+              Degrade.ran = spec.rung;
+              attempts = List.rev attempts;
+              guarantee = spec.guarantee;
+            }
+          in
+          Ok
+            {
+              tree;
+              method_used = spec.meth;
+              optimal = spec.guarantee = Degrade.Exact;
+              profile;
+              provenance;
+            }
+        | None ->
+          descend ({ Degrade.rung = spec.rung; why = Degrade.Out_of_class } :: attempts) rest
+        | exception Budget.Exhausted stop ->
+          if degrade then
+            descend
+              ({ Degrade.rung = spec.rung; why = Degrade.reason_of_stop stop }
+              :: attempts)
+              rest
+          else Error (Errors.Budget_exhausted spec.rung))
+    in
+    descend (List.rev pre_attempts) ladder
+  end
+
+let solve_steiner ?budget g ~p =
+  match solve ?budget g ~p with Ok s -> Some s | Error _ -> None
 
 let solve_min_relations g ~p = Algorithm1.solve g ~p
 

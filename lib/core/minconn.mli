@@ -41,6 +41,9 @@ module Dialogue = Datamodel.Dialogue
 module Layered = Datamodel.Layered
 module Repair = Datamodel.Repair
 module Figures = Datamodel.Figures
+module Budget = Runtime.Budget
+module Degrade = Runtime.Degrade
+module Errors = Runtime.Errors
 
 (** {1 One-call solving} *)
 
@@ -50,19 +53,44 @@ type method_used =
   | Used_algorithm2  (** exact: graph is (6,2)-chordal (Theorem 5) *)
   | Used_exact_dp  (** exact: Dreyfus–Wagner *)
   | Used_elimination  (** heuristic nonredundant cover (no guarantee) *)
+  | Used_mst_approx  (** metric-closure MST 2-approximation *)
 
 type solution = {
   tree : Tree.t;
   method_used : method_used;
-  optimal : bool;
+  optimal : bool;  (** [provenance.guarantee = Exact] *)
   profile : Classify.profile;
+  provenance : Degrade.provenance;
+      (** which ladder rung ran, why earlier rungs were abandoned
+          (timeout, fuel, out-of-class, terminals-over-cap), and the
+          resulting guarantee *)
 }
 
-val solve_steiner : Bigraph.t -> p:Iset.t -> solution option
-(** Minimal connection over [p] (underlying indices): Algorithm 2 when
-    the classification licenses it, Dreyfus–Wagner when the terminal
-    count allows, elimination otherwise. [None] if [p] is
-    disconnected. *)
+val solve :
+  ?budget:Budget.t ->
+  ?degrade:bool ->
+  Bigraph.t ->
+  p:Iset.t ->
+  (solution, Errors.t) result
+(** The resource-governed runtime boundary. Classifies once, picks the
+    best rung the classification licenses, and — when [budget] runs out
+    mid-solve — descends the degradation ladder
+
+    {v exact (structured or DP)  ->  fixpoint elimination  ->  MST 2-approx v}
+
+    recording every abandoned rung in the returned provenance. The
+    cheap connectivity rejection runs {e before} the classifier, and
+    the profile is computed exactly once. With [~degrade:false] the
+    first exhausted rung is reported as [Error (Budget_exhausted _)]
+    instead of falling through. The internal [Budget.Exhausted] signal
+    never escapes this function. *)
+
+val solve_steiner :
+  ?budget:Budget.t -> Bigraph.t -> p:Iset.t -> solution option
+(** [solve] with errors collapsed to [None]: Algorithm 2 when the
+    classification licenses it, Dreyfus–Wagner when the terminal count
+    allows, elimination otherwise, degrading down the ladder when the
+    budget runs out. [None] if [p] is disconnected. *)
 
 val solve_min_relations :
   Bigraph.t -> p:Iset.t -> (Algorithm1.result, Algorithm1.error) result

@@ -7,11 +7,13 @@ type named_bigraph = {
   right_names : string array;
 }
 
-type error = { line : int; message : string }
+type error = Runtime.Errors.t
 
-let pp_error ppf e =
-  Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error = Runtime.Errors.pp
 
+(* Every token carries its 1-based starting column so parse errors can
+   point at the offending token, not just its line. A line is
+   [(lineno, cols, tokens)] with [cols] parallel to [tokens]. *)
 let tokenize text =
   String.split_on_char '\n' text
   |> List.mapi (fun i line -> (i + 1, line))
@@ -21,20 +23,39 @@ let tokenize text =
            | Some k -> String.sub line 0 k
            | None -> line
          in
-         match
-           String.split_on_char ' ' line
-           |> List.concat_map (String.split_on_char '\t')
-           |> List.filter (fun t -> t <> "")
-         with
+         let n = String.length line in
+         let rec scan j acc =
+           if j >= n then List.rev acc
+           else if line.[j] = ' ' || line.[j] = '\t' then scan (j + 1) acc
+           else begin
+             let k = ref j in
+             while !k < n && line.[!k] <> ' ' && line.[!k] <> '\t' do
+               incr k
+             done;
+             scan !k ((j + 1, String.sub line j (!k - j)) :: acc)
+           end
+         in
+         match scan 0 [] with
          | [] -> None
-         | tokens -> Some (i, tokens))
+         | toks -> Some (i, List.map fst toks, List.map snd toks))
 
-let err line fmt = Printf.ksprintf (fun message -> Error { line; message }) fmt
+(* Column of the [k]-th token on a line; 0 (column unknown) past the end. *)
+let col_at cols k =
+  match List.nth_opt cols k with Some c -> c | None -> 0
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let err line col fmt =
+  Printf.ksprintf
+    (fun msg -> Error (Runtime.Errors.Parse_error { line; col; msg }))
+    fmt
 
 let expect_header want = function
-  | (_, [ h ]) :: rest when h = want -> Ok rest
-  | (i, _) :: _ -> err i "expected a single '%s' header line" want
-  | [] -> err 0 "empty input (expected '%s' header)" want
+  | (_, _, [ h ]) :: rest when h = want -> Ok rest
+  | (i, cs, _) :: _ ->
+    err i (col_at cs 0) "expected a single '%s' header line" want
+  | [] -> err 0 0 "empty input (expected '%s' header)" want
 
 let index_of arr name =
   let rec go i =
@@ -51,35 +72,38 @@ let bigraph_of_string text =
     let left = ref [] and right = ref [] and edges = ref [] in
     let rec consume = function
       | [] -> Ok ()
-      | (i, "left" :: names) :: rest ->
+      | (i, cs, "left" :: names) :: rest ->
         left := !left @ names;
-        if names = [] then err i "'left' line with no names" else consume rest
-      | (i, "right" :: names) :: rest ->
+        if names = [] then err i (col_at cs 0) "'left' line with no names"
+        else consume rest
+      | (i, cs, "right" :: names) :: rest ->
         right := !right @ names;
-        if names = [] then err i "'right' line with no names" else consume rest
-      | (i, [ "edge"; a; b ]) :: rest ->
-        edges := (i, a, b) :: !edges;
+        if names = [] then err i (col_at cs 0) "'right' line with no names"
+        else consume rest
+      | (i, cs, [ "edge"; a; b ]) :: rest ->
+        edges := (i, cs, a, b) :: !edges;
         consume rest
-      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
-      | (i, []) :: _ -> err i "empty line slipped through"
+      | (i, cs, t :: _) :: _ ->
+        err i (col_at cs 0) "unknown directive '%s'" t
+      | (i, _, []) :: _ -> err i 0 "empty line slipped through"
     in
     (match consume lines with
     | Error e -> Error e
     | Ok () ->
       let dup l = List.length (List.sort_uniq compare l) <> List.length l in
       if dup !left || dup !right || dup (!left @ !right) then
-        err 0 "duplicate node name"
+        err 0 0 "duplicate node name"
       else begin
         let left_names = Array.of_list !left in
         let right_names = Array.of_list !right in
         let rec build g = function
           | [] -> Ok g
-          | (i, a, b) :: rest -> (
+          | (i, cs, a, b) :: rest -> (
             match (index_of left_names a, index_of right_names b) with
             | Some la, Some rb ->
               build (Bipartite.Bigraph.add_edge g la rb) rest
-            | None, _ -> err i "unknown left node '%s'" a
-            | _, None -> err i "unknown right node '%s'" b)
+            | None, _ -> err i (col_at cs 1) "unknown left node '%s'" a
+            | _, None -> err i (col_at cs 2) "unknown right node '%s'" b)
         in
         match
           build
@@ -98,17 +122,19 @@ let schema_of_string text =
   | Ok lines ->
     let rec consume acc = function
       | [] -> Ok (List.rev acc)
-      | (i, "relation" :: name :: attrs) :: rest ->
-        if attrs = [] then err i "relation '%s' has no attributes" name
+      | (i, cs, "relation" :: name :: attrs) :: rest ->
+        if attrs = [] then
+          err i (col_at cs 1) "relation '%s' has no attributes" name
         else consume ((name, attrs) :: acc) rest
-      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
-      | (i, []) :: _ -> err i "empty line slipped through"
+      | (i, cs, t :: _) :: _ ->
+        err i (col_at cs 0) "unknown directive '%s'" t
+      | (i, _, []) :: _ -> err i 0 "empty line slipped through"
     in
     (match consume [] lines with
     | Error e -> Error e
     | Ok rels -> (
       try Ok (Datamodel.Schema.make rels)
-      with Invalid_argument m -> err 0 "%s" m))
+      with Invalid_argument m -> err 0 0 "%s" m))
 
 let hypergraph_of_string text =
   match expect_header "hypergraph" (tokenize text) with
@@ -117,17 +143,20 @@ let hypergraph_of_string text =
     let nodes = ref [] and edges = ref [] in
     let rec consume = function
       | [] -> Ok ()
-      | (i, "nodes" :: names) :: rest ->
+      | (i, cs, "nodes" :: names) :: rest ->
         nodes := !nodes @ names;
-        if names = [] then err i "'nodes' line with no names" else consume rest
-      | (i, "edge" :: name :: members) :: rest ->
-        if members = [] then err i "edge '%s' is empty" name
+        if names = [] then err i (col_at cs 0) "'nodes' line with no names"
+        else consume rest
+      | (i, cs, "edge" :: name :: members) :: rest ->
+        if members = [] then err i (col_at cs 1) "edge '%s' is empty" name
         else begin
-          edges := (i, name, members) :: !edges;
+          (* members start at token index 2; keep their columns paired *)
+          edges := (i, name, List.combine (drop 2 cs) members) :: !edges;
           consume rest
         end
-      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
-      | (i, []) :: _ -> err i "empty line slipped through"
+      | (i, cs, t :: _) :: _ ->
+        err i (col_at cs 0) "unknown directive '%s'" t
+      | (i, _, []) :: _ -> err i 0 "empty line slipped through"
     in
     (match consume lines with
     | Error e -> Error e
@@ -138,10 +167,10 @@ let hypergraph_of_string text =
         | (i, _, members) :: rest ->
           let rec resolve set = function
             | [] -> Ok set
-            | m :: ms -> (
+            | (c, m) :: ms -> (
               match index_of node_names m with
               | Some v -> resolve (Iset.add v set) ms
-              | None -> err i "unknown node '%s'" m)
+              | None -> err i c "unknown node '%s'" m)
           in
           (match resolve Iset.empty members with
           | Error e -> Error e
@@ -153,10 +182,12 @@ let hypergraph_of_string text =
         let edge_names =
           Array.of_list (List.rev_map (fun (_, n, _) -> n) !edges)
         in
-        Ok
-          ( Hypergraph.create ~n_nodes:(Array.length node_names) family,
-            node_names,
-            edge_names ))
+        (try
+           Ok
+             ( Hypergraph.create ~n_nodes:(Array.length node_names) family,
+               node_names,
+               edge_names )
+         with Invalid_argument m -> err 0 0 "%s" m))
 
 let database_of_string text =
   match expect_header "database" (tokenize text) with
@@ -165,17 +196,19 @@ let database_of_string text =
     let schemas = ref [] and rows = ref [] in
     let rec consume = function
       | [] -> Ok ()
-      | (i, "relation" :: name :: attrs) :: rest ->
-        if attrs = [] then err i "relation '%s' has no attributes" name
+      | (i, cs, "relation" :: name :: attrs) :: rest ->
+        if attrs = [] then
+          err i (col_at cs 1) "relation '%s' has no attributes" name
         else begin
           schemas := (name, attrs) :: !schemas;
           consume rest
         end
-      | (i, "row" :: name :: values) :: rest ->
-        rows := (i, name, values) :: !rows;
+      | (i, cs, "row" :: name :: values) :: rest ->
+        rows := (i, col_at cs 1, name, values) :: !rows;
         consume rest
-      | (i, t :: _) :: _ -> err i "unknown directive '%s'" t
-      | (i, []) :: _ -> err i "empty line slipped through"
+      | (i, cs, t :: _) :: _ ->
+        err i (col_at cs 0) "unknown directive '%s'" t
+      | (i, _, []) :: _ -> err i 0 "empty line slipped through"
     in
     (match consume lines with
     | Error e -> Error e
@@ -183,29 +216,32 @@ let database_of_string text =
       let schemas = List.rev !schemas in
       let rec check_rows = function
         | [] -> Ok ()
-        | (i, name, values) :: rest -> (
+        | (i, c, name, values) :: rest -> (
           match List.assoc_opt name schemas with
-          | None -> err i "row for unknown relation '%s'" name
+          | None -> err i c "row for unknown relation '%s'" name
           | Some attrs when List.length attrs <> List.length values ->
-            err i "row arity mismatch for '%s'" name
+            err i c "row arity mismatch for '%s'" name
           | Some _ -> check_rows rest)
       in
       (match check_rows (List.rev !rows) with
       | Error e -> Error e
       | Ok () -> (
-        let rels =
-          List.map
-            (fun (name, attrs) ->
-              let data =
-                List.rev !rows
-                |> List.filter_map (fun (_, n, values) ->
-                       if n = name then Some values else None)
-              in
-              (name, Relalg.Relation.make ~attrs data))
-            schemas
-        in
-        try Ok (Relalg.Database.make rels)
-        with Invalid_argument m -> err 0 "%s" m)))
+        (* Relation.make can also reject (duplicate attributes), so the
+           whole construction sits inside the boundary. *)
+        try
+          let rels =
+            List.map
+              (fun (name, attrs) ->
+                let data =
+                  List.rev !rows
+                  |> List.filter_map (fun (_, _, n, values) ->
+                         if n = name then Some values else None)
+                in
+                (name, Relalg.Relation.make ~attrs data))
+              schemas
+          in
+          Ok (Relalg.Database.make rels)
+        with Invalid_argument m -> err 0 0 "%s" m)))
 
 let query_of_string text =
   let words =
@@ -222,7 +258,7 @@ let query_of_string text =
       | w :: rest -> split_objects (w :: acc) rest
     in
     let objects, conds = split_objects [] rest in
-    if objects = [] then err 1 "no objects to connect"
+    if objects = [] then err 1 0 "no objects to connect"
     else
       let rec parse_conds acc = function
         | [] -> Ok (List.rev acc)
@@ -230,13 +266,13 @@ let query_of_string text =
           match rest with
           | "and" :: more -> parse_conds ((attr, value) :: acc) more
           | [] -> Ok (List.rev ((attr, value) :: acc))
-          | w :: _ -> err 1 "expected 'and', found '%s'" w)
-        | w :: _ -> err 1 "malformed condition near '%s'" w
+          | w :: _ -> err 1 0 "expected 'and', found '%s'" w)
+        | w :: _ -> err 1 0 "malformed condition near '%s'" w
       in
       (match parse_conds [] conds with
       | Error e -> Error e
       | Ok where -> Ok (objects, where))
-  | _ -> err 1 "queries start with 'connect'"
+  | _ -> err 1 0 "queries start with 'connect'"
 
 let name_set nb names =
   let module B = Bipartite.Bigraph in

@@ -37,7 +37,12 @@ type named_bigraph = {
   right_names : string array;
 }
 
-type error = { line : int; message : string }
+type error = Runtime.Errors.t
+(** Parse failures are always [Runtime.Errors.Parse_error {line; col; msg}]
+    with 1-based line and column; [col = 0] (or [line = 0]) means the
+    position is unknown (e.g. a whole-file property like a duplicate
+    name). Sharing the runtime taxonomy lets callers thread parse
+    errors straight to the CLI error boundary. *)
 
 val bigraph_of_string : string -> (named_bigraph, error) result
 

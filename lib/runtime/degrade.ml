@@ -1,0 +1,43 @@
+type reason = Timeout | Fuel | Out_of_class | Terminals_over_cap
+
+type guarantee = Exact | Ratio of float | Heuristic
+
+type attempt = { rung : Errors.rung; why : reason }
+
+type provenance = {
+  ran : Errors.rung;
+  attempts : attempt list;
+  guarantee : guarantee;
+}
+
+let reason_of_stop = function
+  | Errors.Timeout -> Timeout
+  | Errors.Fuel -> Fuel
+
+let reason_name = function
+  | Timeout -> "timeout"
+  | Fuel -> "fuel"
+  | Out_of_class -> "out-of-class"
+  | Terminals_over_cap -> "terminals-over-cap"
+
+let guarantee_name = function
+  | Exact -> "exact"
+  | Ratio r -> Printf.sprintf "ratio<=%g" r
+  | Heuristic -> "heuristic"
+
+let exact ran = { ran; attempts = []; guarantee = Exact }
+
+let degraded p = p.attempts <> [] || p.guarantee <> Exact
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_name r)
+
+let pp_guarantee ppf g = Format.pp_print_string ppf (guarantee_name g)
+
+let pp_attempt ppf a =
+  Format.fprintf ppf "%s abandoned (%s)" (Errors.rung_name a.rung)
+    (reason_name a.why)
+
+let pp ppf p =
+  List.iter (fun a -> Format.fprintf ppf "%a; " pp_attempt a) p.attempts;
+  Format.fprintf ppf "ran %s (%s)" (Errors.rung_name p.ran)
+    (guarantee_name p.guarantee)

@@ -1,0 +1,58 @@
+(** Provenance for the graceful-degradation ladder.
+
+    The paper's taxonomy licenses a natural fallback order when an
+    instance lands on the wrong side of the complexity frontier or a
+    budget runs out mid-solve:
+
+    {v exact DP  ->  Algorithm 2 fixpoint  ->  MST 2-approximation v}
+
+    The ladder itself is executed by [Minconn.solve]; this module owns
+    the record of what happened — which rung produced the answer, why
+    each earlier rung was abandoned, and the optimality guarantee the
+    caller is left with — so "optimal = false" is never a silent
+    lie. *)
+
+(** Why a rung was abandoned before the one that ran. *)
+type reason =
+  | Timeout  (** the budget's wall-clock deadline passed *)
+  | Fuel  (** the budget's fuel counter ran out *)
+  | Out_of_class
+      (** the instance lacks the structure the rung requires *)
+  | Terminals_over_cap
+      (** terminal count exceeds [Dreyfus_wagner.max_terminals], so the
+          exact DP was never attempted *)
+
+type guarantee =
+  | Exact
+  | Ratio of float  (** approximation factor, e.g. 2.0 for the MST rung *)
+  | Heuristic  (** nonredundant but no size guarantee *)
+
+type attempt = { rung : Errors.rung; why : reason }
+
+type provenance = {
+  ran : Errors.rung;  (** the rung that produced the returned tree *)
+  attempts : attempt list;
+      (** rungs abandoned before [ran], in ladder order *)
+  guarantee : guarantee;
+}
+
+val reason_of_stop : Errors.stop_reason -> reason
+
+val exact : Errors.rung -> provenance
+(** No abandoned rungs, [Exact] guarantee. *)
+
+val degraded : provenance -> bool
+(** Some rung was abandoned, or the guarantee is weaker than exact —
+    the CLI's exit-code-2 condition. *)
+
+val reason_name : reason -> string
+
+val guarantee_name : guarantee -> string
+
+val pp_reason : Format.formatter -> reason -> unit
+
+val pp_guarantee : Format.formatter -> guarantee -> unit
+
+val pp_attempt : Format.formatter -> attempt -> unit
+
+val pp : Format.formatter -> provenance -> unit

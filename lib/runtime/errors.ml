@@ -1,0 +1,36 @@
+type stop_reason = Timeout | Fuel
+
+type rung = Exact_structured | Exact_dp | Fixpoint | Mst
+
+type t =
+  | Parse_error of { line : int; col : int; msg : string }
+  | Disconnected_terminals
+  | Budget_exhausted of rung
+  | Invalid_instance of string
+
+let stop_reason_name = function Timeout -> "timeout" | Fuel -> "fuel"
+
+let rung_name = function
+  | Exact_structured -> "exact-structured"
+  | Exact_dp -> "exact-dp"
+  | Fixpoint -> "fixpoint"
+  | Mst -> "mst-approx"
+
+let pp ppf = function
+  | Parse_error { line; col; msg } ->
+    if col > 0 then Format.fprintf ppf "line %d, col %d: %s" line col msg
+    else Format.fprintf ppf "line %d: %s" line msg
+  | Disconnected_terminals ->
+    Format.pp_print_string ppf "terminals are not connected"
+  | Budget_exhausted rung ->
+    Format.fprintf ppf "budget exhausted in the %s rung" (rung_name rung)
+  | Invalid_instance msg -> Format.fprintf ppf "invalid instance: %s" msg
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* CLI contract: 0 solved-exact, 2 solved-degraded, 3 no cover,
+   4 input error, 5 budget exhausted under --no-degrade. *)
+let exit_code = function
+  | Disconnected_terminals -> 3
+  | Parse_error _ | Invalid_instance _ -> 4
+  | Budget_exhausted _ -> 5

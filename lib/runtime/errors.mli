@@ -1,0 +1,40 @@
+(** One typed error taxonomy for every boundary of the solving stack:
+    [Minconn], [Mc_io.Parse] and the CLI all return these as [result]
+    values instead of raising. Internal signals ([Budget.Exhausted])
+    are translated into {!t} at the runtime boundary and never leak. *)
+
+type stop_reason = Timeout | Fuel
+(** Why a budget ran out: the wall-clock deadline passed, or the fuel
+    counter (elimination steps / DP subset expansions) hit zero. *)
+
+(** The rungs of the graceful-degradation ladder, ordered from best
+    guarantee to last resort (see {!Degrade}). *)
+type rung =
+  | Exact_structured
+      (** the paper's polynomial exact solvers: forest paths on
+          (4,1)-chordal inputs, Algorithm 2 on (6,2)-chordal inputs *)
+  | Exact_dp  (** Dreyfus–Wagner exact dynamic programming *)
+  | Fixpoint  (** Algorithm 2 fixpoint elimination run as a heuristic *)
+  | Mst  (** metric-closure MST 2-approximation *)
+
+type t =
+  | Parse_error of { line : int; col : int; msg : string }
+      (** positioned syntax/semantic error in a text-format input;
+          [col] is 1-based, 0 when no column applies *)
+  | Disconnected_terminals  (** no cover exists *)
+  | Budget_exhausted of rung
+      (** the budget ran out in [rung] and degradation was disabled *)
+  | Invalid_instance of string  (** malformed instance at the API level *)
+
+val stop_reason_name : stop_reason -> string
+
+val rung_name : rung -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val exit_code : t -> int
+(** The CLI exit code this error maps to: 3 no-cover, 4 input error,
+    5 budget exhausted. (0 solved-exact and 2 solved-degraded are not
+    errors.) *)

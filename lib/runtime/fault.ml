@@ -1,0 +1,54 @@
+type plan =
+  | After of { mutable remaining : int; reason : Errors.stop_reason }
+  | Probability of {
+      p : float;
+      mutable state : int64;
+      reason : Errors.stop_reason;
+    }
+
+let armed_plan : plan option ref = ref None
+
+(* splitmix64: one multiply-xor-shift step per consultation, so the
+   injection trace is a pure function of the seed and the check
+   sequence — independent of the global Random state. *)
+let splitmix64 s =
+  let s = Int64.add s 0x9E3779B97F4A7C15L in
+  let z = s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (s, Int64.logxor z (Int64.shift_right_logical z 31))
+
+let unit_float bits =
+  let mantissa = Int64.to_int (Int64.shift_right_logical bits 11) in
+  float_of_int mantissa /. 9007199254740992.0 (* 2^53 *)
+
+let arm_after ~checks ~reason =
+  if checks < 0 then invalid_arg "Fault.arm_after: negative check count";
+  armed_plan := Some (After { remaining = checks; reason })
+
+let arm ~seed ~p ~reason =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Fault.arm: p outside [0,1]";
+  armed_plan :=
+    Some (Probability { p; state = Int64.of_int seed; reason })
+
+let disarm () = armed_plan := None
+
+let armed () = !armed_plan <> None
+
+let should_fail () =
+  match !armed_plan with
+  | None -> None
+  | Some (After a) ->
+    if a.remaining <= 0 then Some a.reason
+    else begin
+      a.remaining <- a.remaining - 1;
+      None
+    end
+  | Some (Probability pr) ->
+    let state, bits = splitmix64 pr.state in
+    pr.state <- state;
+    if unit_float bits < pr.p then Some pr.reason else None
+
+let with_plan ~arm:do_arm f =
+  do_arm ();
+  Fun.protect ~finally:disarm f

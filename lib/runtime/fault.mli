@@ -1,0 +1,34 @@
+(** Deterministic fault injection for the budget checkpoints.
+
+    When a plan is armed, every {!Budget.check} on a limited budget
+    consults it and raises the internal exhaustion signal when the plan
+    says so — forcing budget exhaustion at a precise checkpoint (or at
+    a configurable probability per checkpoint) so tests can exercise
+    every rung of the degradation ladder, including cancellation in the
+    middle of an elimination fixpoint.
+
+    The probabilistic mode steps a private splitmix64 stream, so a
+    given seed yields the same injection trace run to run; tests derive
+    seeds from [Workloads.Rng.for_trial] to stay per-trial
+    deterministic. The harness is global, single-domain, test-only
+    state: production paths never arm it, and {!Budget.check} only
+    consults it on budgeted (limited) paths. *)
+
+val arm_after : checks:int -> reason:Errors.stop_reason -> unit
+(** Let the next [checks] checkpoints pass, then fail every subsequent
+    one with [reason] until {!disarm}. *)
+
+val arm : seed:int -> p:float -> reason:Errors.stop_reason -> unit
+(** Fail each checkpoint independently with probability [p],
+    deterministically in [seed]. *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val should_fail : unit -> Errors.stop_reason option
+(** Consulted by {!Budget.check}; advances the armed plan. *)
+
+val with_plan : arm:(unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_plan ~arm f] arms, runs [f], and always disarms (even on
+    exceptions). *)

@@ -6,7 +6,7 @@ let log_src =
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let solve ?order g ~p =
+let solve ?order ?budget g ~p =
   match Traverse.component_containing g p with
   | None -> None
   | Some comp ->
@@ -17,11 +17,11 @@ let solve ?order g ~p =
       in
       listed @ missing
     in
-    let survivors = Cover.eliminate_redundant ~order g ~within:comp ~p in
+    let survivors = Cover.eliminate_redundant ~order ?budget g ~within:comp ~p in
     Log.debug (fun m ->
         m "eliminated %d of %d component nodes; survivors %a"
           (Iset.cardinal comp - Iset.cardinal survivors)
           (Iset.cardinal comp) Iset.pp survivors);
     Tree.of_node_set g survivors
 
-let solve_bigraph ?order g ~p = solve ?order (Bigraph.ugraph g) ~p
+let solve_bigraph ?order ?budget g ~p = solve ?order ?budget (Bigraph.ugraph g) ~p

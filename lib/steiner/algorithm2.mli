@@ -13,10 +13,22 @@
 open Graphs
 open Bipartite
 
-val solve : ?order:int list -> Ugraph.t -> p:Iset.t -> Tree.t option
+val solve :
+  ?order:int list ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  p:Iset.t ->
+  Tree.t option
 (** [None] when the terminals do not share a component. The elimination
     is restricted to the component containing [p]; [order] defaults to
     increasing node ids and may mention any subset of nodes (missing
-    nodes are appended in increasing order, terminals are skipped). *)
+    nodes are appended in increasing order, terminals are skipped).
+    [budget] is spent by the underlying {!Cover.eliminate_redundant}
+    fixpoint, one fuel unit per elimination candidate. *)
 
-val solve_bigraph : ?order:int list -> Bigraph.t -> p:Iset.t -> Tree.t option
+val solve_bigraph :
+  ?order:int list ->
+  ?budget:Runtime.Budget.t ->
+  Bigraph.t ->
+  p:Iset.t ->
+  Tree.t option

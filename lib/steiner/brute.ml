@@ -17,11 +17,12 @@ let subsets_ascending set =
     (fun a b -> compare (Iset.cardinal a) (Iset.cardinal b))
     (List.rev !all)
 
-let steiner g ~terminals =
+let steiner ?(budget = Runtime.Budget.unlimited) g ~terminals =
   let optional = Iset.diff (Ugraph.nodes g) terminals in
   let rec first = function
     | [] -> None
     | extra :: rest ->
+      Runtime.Budget.check budget;
       let nodes = Iset.union terminals extra in
       if Traverse.is_connected ~within:nodes g then Tree.of_node_set g nodes
       else first rest
@@ -33,7 +34,7 @@ let steiner g ~terminals =
    left nodes can only help connectivity. The induced subgraph may stay
    disconnected through useless left components, so after the
    feasibility check we shrink to the p-component and prune leaves. *)
-let v2_minimum g ~p =
+let v2_minimum ?(budget = Runtime.Budget.unlimited) g ~p =
   let u = Bigraph.ugraph g in
   let right = Bigraph.right_nodes g in
   let p_right = Iset.inter p right in
@@ -64,13 +65,14 @@ let v2_minimum g ~p =
   let rec first = function
     | [] -> None
     | s :: rest -> (
+      Runtime.Budget.check budget;
       match feasible s with
       | Some t -> Some (t, Tree.count_in t right)
       | None -> first rest)
   in
   first (subsets_ascending optional_right)
 
-let v1_minimum g ~p =
+let v1_minimum ?budget g ~p =
   let flipped = Bigraph.flip g in
   let to_flipped v =
     match Bigraph.node_of_index g v with
@@ -82,7 +84,7 @@ let v1_minimum g ~p =
     | Bigraph.L j -> Bigraph.index g (Bigraph.R j)
     | Bigraph.R i -> Bigraph.index g (Bigraph.L i)
   in
-  match v2_minimum flipped ~p:(Iset.map to_flipped p) with
+  match v2_minimum ?budget flipped ~p:(Iset.map to_flipped p) with
   | None -> None
   | Some (t, count) ->
     let nodes = Iset.map to_original t.Tree.nodes in

@@ -5,15 +5,20 @@
 open Graphs
 open Bipartite
 
-val steiner : Ugraph.t -> terminals:Iset.t -> Tree.t option
+val steiner :
+  ?budget:Runtime.Budget.t -> Ugraph.t -> terminals:Iset.t -> Tree.t option
 (** Minimum-node tree over the terminals by enumerating optional node
-    subsets in ascending cardinality. *)
+    subsets in ascending cardinality. One fuel unit of [budget] per
+    candidate subset; exhaustion raises the internal
+    [Runtime.Budget.Exhausted] signal. *)
 
-val v2_minimum : Bigraph.t -> p:Iset.t -> (Tree.t * int) option
+val v2_minimum :
+  ?budget:Runtime.Budget.t -> Bigraph.t -> p:Iset.t -> (Tree.t * int) option
 (** Pseudo-Steiner w.r.t. V₂ (Definition 9): a tree over [p] whose
     number of right nodes is minimum, with that count. Enumerates right
     node subsets only — left nodes are free, so for a fixed right subset
     it suffices to throw in every adjacent left node and check
     coverage. *)
 
-val v1_minimum : Bigraph.t -> p:Iset.t -> (Tree.t * int) option
+val v1_minimum :
+  ?budget:Runtime.Budget.t -> Bigraph.t -> p:Iset.t -> (Tree.t * int) option

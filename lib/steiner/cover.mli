@@ -29,17 +29,31 @@ val side_minimum_brute :
 (** Minimum number of side-nodes over all covers. *)
 
 val eliminate_redundant_once :
-  ?order:int list -> Ugraph.t -> within:Iset.t -> p:Iset.t -> Iset.t
+  ?order:int list ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  within:Iset.t ->
+  p:Iset.t ->
+  Iset.t
 (** A single scan, exactly as Algorithms 1–2 are printed in the paper.
     Kept for the ablation benchmark: it can leave a redundant node
     behind (see DESIGN.md §7) and is {e not} used by the solvers. *)
 
 val eliminate_redundant :
-  ?order:int list -> Ugraph.t -> within:Iset.t -> p:Iset.t -> Iset.t
+  ?order:int list ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  within:Iset.t ->
+  p:Iset.t ->
+  Iset.t
 (** Scan the nodes (in [order], default increasing; terminals are
     skipped) and drop each whose removal leaves a cover of [p] — the
     core move of Algorithm 2 and of Definition 11's "good orderings".
-    Requires [p] connected within; returns a nonredundant cover. *)
+    Requires [p] connected within; returns a nonredundant cover. One
+    fuel unit is spent per elimination candidate; exhaustion raises
+    the internal [Runtime.Budget.Exhausted] signal (callers at the
+    runtime boundary catch it; the fixpoint leaves no partial
+    state behind — inputs are immutable). *)
 
 val is_nonredundant_path : Ugraph.t -> int list -> bool
 (** The path's node set induces a nonredundant cover of its two

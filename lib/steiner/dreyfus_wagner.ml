@@ -10,7 +10,7 @@ type choice =
   | Merge of int  (** split into submask / complement at [v] *)
   | Via of int  (** tree at [u] extended by a shortest u–v path *)
 
-let solve ?within g ~terminals =
+let solve ?within ?(budget = Runtime.Budget.unlimited) g ~terminals =
   let w = match within with Some w -> w | None -> Ugraph.nodes g in
   if not (Iset.subset terminals w) then None
   else if Iset.cardinal terminals <= 1 then
@@ -52,6 +52,7 @@ let solve ?within g ~terminals =
           | v :: rest ->
             buckets.(dist_now) <- rest;
             if (not settled.(v)) && dp.(mask).(v) = dist_now then begin
+              Runtime.Budget.check budget;
               settled.(v) <- true;
               Iset.iter
                 (fun u ->
@@ -86,6 +87,7 @@ let solve ?within g ~terminals =
         in
         Iset.iter
           (fun v ->
+            Runtime.Budget.check budget;
             List.iter
               (fun sub ->
                 let cost = dp.(sub).(v) + dp.(mask lxor sub).(v) in
@@ -157,5 +159,5 @@ let solve ?within g ~terminals =
     end
   end
 
-let optimum_nodes ?within g ~terminals =
-  Option.map Tree.node_count (solve ?within g ~terminals)
+let optimum_nodes ?within ?budget g ~terminals =
+  Option.map Tree.node_count (solve ?within ?budget g ~terminals)

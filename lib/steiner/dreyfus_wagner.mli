@@ -12,11 +12,24 @@ open Graphs
 val max_terminals : int
 (** Guard on [2^t] table size (17). *)
 
-val solve : ?within:Iset.t -> Ugraph.t -> terminals:Iset.t -> Tree.t option
+val solve :
+  ?within:Iset.t ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  terminals:Iset.t ->
+  Tree.t option
 (** A minimum-node tree of the induced subgraph spanning the terminals;
     [None] when the terminals are not connected. Raises
     [Invalid_argument] beyond {!max_terminals}. Zero or one terminal
-    yield the trivial tree. *)
+    yield the trivial tree. One fuel unit of [budget] is spent per DP
+    subset expansion (a settled node in a relax pass or a merge cell);
+    exhaustion raises the internal [Runtime.Budget.Exhausted] signal
+    for the runtime boundary to catch. *)
 
-val optimum_nodes : ?within:Iset.t -> Ugraph.t -> terminals:Iset.t -> int option
+val optimum_nodes :
+  ?within:Iset.t ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  terminals:Iset.t ->
+  int option
 (** Just the optimal node count. *)

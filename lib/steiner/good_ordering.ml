@@ -1,28 +1,32 @@
 open Graphs
 
-let eliminate g ~order ~p =
+let eliminate ?budget g ~order ~p =
   match Traverse.component_containing g p with
   | None -> None
   | Some comp ->
     let order = order @ Iset.elements (Iset.diff comp (Iset.of_list order)) in
-    Some (Cover.eliminate_redundant ~order g ~within:comp ~p)
+    Some (Cover.eliminate_redundant ~order ?budget g ~within:comp ~p)
 
-let is_good_for g ~order ~p =
-  match eliminate g ~order ~p with
+let is_good_for ?budget g ~order ~p =
+  match eliminate ?budget g ~order ~p with
   | None -> true
   | Some survivors -> (
-    match Dreyfus_wagner.optimum_nodes g ~terminals:p with
+    match Dreyfus_wagner.optimum_nodes ?budget g ~terminals:p with
     | None -> true
     | Some opt -> Iset.cardinal survivors = opt)
 
-let find_bad_set ?(max_terminals = 4) g ~order =
+let find_bad_set ?(max_terminals = 4) ?(budget = Runtime.Budget.unlimited) g
+    ~order =
   let n = Ugraph.n g in
   let result = ref None in
   let rec search chosen smallest size =
     if !result <> None then ()
     else begin
-      if size >= 2 && not (is_good_for g ~order ~p:chosen) then
-        result := Some chosen;
+      if size >= 2 then begin
+        Runtime.Budget.check budget;
+        if not (is_good_for ~budget g ~order ~p:chosen) then
+          result := Some chosen
+      end;
       if !result = None && size < max_terminals then
         for v = smallest + 1 to n - 1 do
           if !result = None then search (Iset.add v chosen) v (size + 1)
@@ -32,4 +36,5 @@ let find_bad_set ?(max_terminals = 4) g ~order =
   search Iset.empty (-1) 0;
   !result
 
-let is_good ?max_terminals g ~order = find_bad_set ?max_terminals g ~order = None
+let is_good ?max_terminals ?budget g ~order =
+  find_bad_set ?max_terminals ?budget g ~order = None

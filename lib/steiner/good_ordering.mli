@@ -8,21 +8,35 @@
 
 open Graphs
 
-val eliminate : Ugraph.t -> order:int list -> p:Iset.t -> Iset.t option
+val eliminate :
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  order:int list ->
+  p:Iset.t ->
+  Iset.t option
 (** Definition 11's process on the component of [p]: [None] when [p] is
     not connected. *)
 
-val is_good_for : Ugraph.t -> order:int list -> p:Iset.t -> bool
+val is_good_for :
+  ?budget:Runtime.Budget.t -> Ugraph.t -> order:int list -> p:Iset.t -> bool
 (** The elimination result is a minimum cover of [p] (checked against
     the exact optimum; exponential in graph size via Dreyfus–Wagner on
     the terminals). Vacuously true for disconnected [p]. *)
 
 val find_bad_set :
-  ?max_terminals:int -> Ugraph.t -> order:int list -> Iset.t option
+  ?max_terminals:int ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  order:int list ->
+  Iset.t option
 (** Search every terminal set up to the given size (default 4) for one
-    on which the ordering is not good. *)
+    on which the ordering is not good. One fuel unit of [budget] per
+    candidate terminal set, plus whatever the inner elimination and
+    Dreyfus–Wagner runs spend; exhaustion raises the internal
+    [Runtime.Budget.Exhausted] signal. *)
 
-val is_good : ?max_terminals:int -> Ugraph.t -> order:int list -> bool
+val is_good :
+  ?max_terminals:int -> ?budget:Runtime.Budget.t -> Ugraph.t -> order:int list -> bool
 (** No bad set up to the bound. (Definition 11 quantifies over all
     terminal sets; for the graphs this repository feeds it, the small
     witnesses are the ones the paper's proofs rely on.) *)

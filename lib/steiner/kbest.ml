@@ -7,8 +7,9 @@ let canonical_edges tree =
   List.sort_uniq compare
     (List.map (fun (u, v) -> (min u v, max u v)) tree.Tree.edges)
 
-let enumerate ?(max_trees = 10) ?max_extra g ~terminals =
-  match Dreyfus_wagner.solve g ~terminals with
+let enumerate ?(max_trees = 10) ?max_extra ?(budget = Runtime.Budget.unlimited)
+    g ~terminals =
+  match Dreyfus_wagner.solve ~budget g ~terminals with
   | None -> []
   | Some first ->
     let optimum = Tree.node_count first in
@@ -33,6 +34,7 @@ let enumerate ?(max_trees = 10) ?max_extra g ~terminals =
         | (cost, tree, banned) :: rest ->
           if cost > cutoff then List.rev emitted
           else begin
+            Runtime.Budget.check budget;
             let key = canonical_edges tree in
             let seen =
               List.exists (fun t -> canonical_edges t = key) emitted
@@ -45,7 +47,8 @@ let enumerate ?(max_trees = 10) ?max_extra g ~terminals =
                   (fun acc e ->
                     let banned' = e :: banned in
                     match
-                      Dreyfus_wagner.solve (remove_edges g banned') ~terminals
+                      Dreyfus_wagner.solve ~budget (remove_edges g banned')
+                        ~terminals
                     with
                     | Some t -> push acc (Tree.node_count t, t, banned')
                     | None -> acc)

@@ -17,9 +17,15 @@
 open Graphs
 
 val enumerate :
-  ?max_trees:int -> ?max_extra:int -> Ugraph.t -> terminals:Iset.t ->
+  ?max_trees:int ->
+  ?max_extra:int ->
+  ?budget:Runtime.Budget.t ->
+  Ugraph.t ->
+  terminals:Iset.t ->
   Tree.t list
 (** At most [max_trees] (default 10) distinct trees, smallest first;
     stops early once a candidate exceeds the optimum by more than
     [max_extra] nodes (default: no bound). Empty when the terminals are
-    disconnected. *)
+    disconnected. [budget] is spent on each frontier expansion and
+    inside every inner Dreyfus–Wagner solve; exhaustion raises the
+    internal [Runtime.Budget.Exhausted] signal. *)

@@ -1,0 +1,149 @@
+(* Fuzzing the Mc_io.Parse boundary: random byte mutations and
+   truncations of well-formed instance files must never escape as
+   exceptions — every outcome is [Ok _] or a positioned
+   [Error (Parse_error _)] from the runtime taxonomy. *)
+
+module Errors = Runtime.Errors
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+(* -------------------------------------------- well-formed corpora *)
+
+let name_of rng prefix k =
+  Printf.sprintf "%s%d_%c" prefix k
+    (Char.chr (Char.code 'a' + Workloads.Rng.int rng 26))
+
+let random_bigraph_text rng =
+  let nl = 1 + Workloads.Rng.int rng 5 and nr = 1 + Workloads.Rng.int rng 5 in
+  let g = Workloads.Gen_bipartite.gnp rng ~nl ~nr ~p:0.5 in
+  let nb =
+    {
+      Mc_io.Parse.graph = g;
+      left_names = Array.init nl (fun i -> name_of rng "L" i);
+      right_names = Array.init nr (fun j -> name_of rng "R" j);
+    }
+  in
+  Mc_io.Parse.bigraph_to_string nb
+
+let random_schema_text rng =
+  let n = 1 + Workloads.Rng.int rng 4 in
+  let b = Buffer.create 128 in
+  Buffer.add_string b "schema\n";
+  for i = 0 to n - 1 do
+    let arity = 1 + Workloads.Rng.int rng 3 in
+    Buffer.add_string b (Printf.sprintf "relation r%d" i);
+    for k = 0 to arity - 1 do
+      Buffer.add_string b
+        (Printf.sprintf " a%d" (Workloads.Rng.int rng (arity + k + 2)))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let random_hypergraph_text rng =
+  let h =
+    Workloads.Gen_hyper.random rng
+      ~n_nodes:(2 + Workloads.Rng.int rng 5)
+      ~n_edges:(1 + Workloads.Rng.int rng 4)
+      ~max_size:3
+  in
+  let node_names =
+    Array.init (Hypergraphs.Hypergraph.n_nodes h) (fun i ->
+        Printf.sprintf "n%d" i)
+  in
+  let edge_names =
+    Array.init (Hypergraphs.Hypergraph.n_edges h) (fun i ->
+        Printf.sprintf "e%d" i)
+  in
+  Mc_io.Parse.hypergraph_to_string h ~node_names ~edge_names
+
+let random_database_text rng =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "database\n";
+  let n = 1 + Workloads.Rng.int rng 3 in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "relation r%d x%d y%d\n" i i i)
+  done;
+  for _ = 1 to Workloads.Rng.int rng 5 do
+    Buffer.add_string b
+      (Printf.sprintf "row r%d %d %d\n" (Workloads.Rng.int rng n)
+         (Workloads.Rng.int rng 9) (Workloads.Rng.int rng 9))
+  done;
+  Buffer.contents b
+
+let random_query_text rng =
+  let n = 1 + Workloads.Rng.int rng 3 in
+  "connect "
+  ^ String.concat ", " (List.init n (fun i -> Printf.sprintf "a%d" i))
+  ^ if Workloads.Rng.bool rng 0.5 then " where a0 = 1 and a1 = 2" else ""
+
+(* ------------------------------------------------------- mutations *)
+
+(* Replacement bytes skew toward structure-relevant characters so the
+   fuzz reaches tokenizer and directive edge cases, not just garbage
+   names. *)
+let mutation_byte rng =
+  let structural = [| ' '; '\t'; '\n'; '#'; '"'; '\\'; '\r'; '\000' |] in
+  if Workloads.Rng.bool rng 0.5 then
+    structural.(Workloads.Rng.int rng (Array.length structural))
+  else Char.chr (Workloads.Rng.int rng 256)
+
+let mutate rng text =
+  let b = Bytes.of_string text in
+  let n = Bytes.length b in
+  if n = 0 then text
+  else begin
+    (* A few point mutations... *)
+    for _ = 0 to Workloads.Rng.int rng 4 do
+      Bytes.set b (Workloads.Rng.int rng n) (mutation_byte rng)
+    done;
+    let s = Bytes.to_string b in
+    (* ...then possibly truncate mid-token or mid-line. *)
+    if Workloads.Rng.bool rng 0.4 then
+      String.sub s 0 (Workloads.Rng.int rng (String.length s))
+    else s
+  end
+
+(* ------------------------------------------------------ the oracle *)
+
+(* A parser survives an input iff it returns [Ok] or a positioned
+   parse error; any other constructor or any exception is a bug in
+   the boundary. *)
+let survives parse input =
+  match parse input with
+  | Ok _ -> true
+  | Error (Errors.Parse_error { line; col; _ }) -> line >= 0 && col >= 0
+  | Error _ -> false
+  | exception _ -> false
+
+let fuzz_prop ~name ~gen_text parse =
+  QCheck2.Test.make ~count:400 ~name seed_gen (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let text = gen_text rng in
+      (* The pristine text must parse; every mutation must fail
+         gracefully if it fails at all. *)
+      survives parse text
+      &&
+      let ok = ref true in
+      for _ = 1 to 8 do
+        if not (survives parse (mutate rng text)) then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    fuzz_prop ~name:"bigraph_of_string never throws"
+      ~gen_text:random_bigraph_text Mc_io.Parse.bigraph_of_string;
+    fuzz_prop ~name:"schema_of_string never throws"
+      ~gen_text:random_schema_text Mc_io.Parse.schema_of_string;
+    fuzz_prop ~name:"hypergraph_of_string never throws"
+      ~gen_text:random_hypergraph_text Mc_io.Parse.hypergraph_of_string;
+    fuzz_prop ~name:"database_of_string never throws"
+      ~gen_text:random_database_text Mc_io.Parse.database_of_string;
+    fuzz_prop ~name:"query_of_string never throws"
+      ~gen_text:random_query_text Mc_io.Parse.query_of_string;
+  ]
+
+let () =
+  Alcotest.run "parse_fuzz"
+    [ ("fuzz", List.map QCheck_alcotest.to_alcotest suite) ]
