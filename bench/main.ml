@@ -799,229 +799,103 @@ let time_mean ~trials f =
   done;
   !total /. float_of_int trials
 
-let kernels_json ~schema ~trials ~max_n rows =
-  let escape s =
-    let b = Buffer.create (String.length s) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | c when Char.code c < 32 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-  in
-  let section_names =
-    List.fold_left
-      (fun acc (s, _) -> if List.mem s acc then acc else acc @ [ s ])
-      [] rows
-  in
+(* Shared bench envelope (schema minconn-bench/2): every BENCH_*.json
+   written by this harness is
+     {schema, section, commit, trials, max_n,
+      entries: [{name, ns_per_op, ...extras}]}
+   so one validator covers all trajectory files and downstream tooling
+   parses them uniformly.  The commit id comes from the MINCONN_COMMIT
+   environment variable when the driver exports it. *)
+
+let bench_schema = "minconn-bench/2"
+
+let commit_id () =
+  match Sys.getenv_opt "MINCONN_COMMIT" with
+  | Some c when c <> "" -> c
+  | _ -> "unknown"
+
+(* Entries carry scalar extras only; nested values have no place in a
+   flat trajectory row. *)
+let render_scalar = function
+  | Observe.Json.Jnum f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6f" f
+  | Observe.Json.Jstr s -> Printf.sprintf "\"%s\"" (Observe.Json.escape s)
+  | Observe.Json.Jbool b -> string_of_bool b
+  | _ -> invalid_arg "render_scalar: scalar extras only"
+
+let bench_json ~section ~trials ~max_n entries =
   let b = Buffer.create 1024 in
-  Printf.bprintf b "{\n  \"schema\": \"%s\",\n" (escape schema);
-  Printf.bprintf b "  \"trials\": %d,\n  \"max_n\": %d,\n  \"sections\": {\n"
+  Printf.bprintf b "{\n  \"schema\": \"%s\",\n" bench_schema;
+  Printf.bprintf b "  \"section\": \"%s\",\n" (Observe.Json.escape section);
+  Printf.bprintf b "  \"commit\": \"%s\",\n"
+    (Observe.Json.escape (commit_id ()));
+  Printf.bprintf b "  \"trials\": %d,\n  \"max_n\": %d,\n  \"entries\": [\n"
     trials max_n;
+  let last = List.length entries - 1 in
   List.iteri
-    (fun i s ->
-      Printf.bprintf b "    \"%s\": [\n" (escape s);
-      let rs = List.filter (fun (s', _) -> s' = s) rows in
-      List.iteri
-        (fun j (_, (impl, n, m, tr, ms)) ->
-          Printf.bprintf b
-            "      { \"name\": \"%s\", \"n\": %d, \"m\": %d, \"trials\": %d, \"mean_ms\": %.6f }%s\n"
-            (escape impl) n m tr ms
-            (if j = List.length rs - 1 then "" else ","))
-        rs;
-      Printf.bprintf b "    ]%s\n"
-        (if i = List.length section_names - 1 then "" else ","))
-    section_names;
-  Buffer.add_string b "  }\n}\n";
+    (fun i (name, ns, extras) ->
+      Printf.bprintf b "    { \"name\": \"%s\", \"ns_per_op\": %.3f"
+        (Observe.Json.escape name) ns;
+      List.iter
+        (fun (k, v) ->
+          Printf.bprintf b ", \"%s\": %s" (Observe.Json.escape k)
+            (render_scalar v))
+        extras;
+      Printf.bprintf b " }%s\n" (if i = last then "" else ","))
+    entries;
+  Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-(* Minimal JSON reader, used only to check that the file just written
-   actually parses and has the expected row shape (the project
-   deliberately carries no JSON dependency). *)
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Bad_json of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if !pos < n && s.[!pos] = c then incr pos
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal lit v =
-    let k = String.length lit in
-    if !pos + k <= n && String.sub s !pos k = lit then begin
-      pos := !pos + k;
-      v
-    end
-    else fail "bad literal"
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' ->
-        incr pos;
-        Buffer.contents b
-      | '\\' ->
-        incr pos;
-        if !pos >= n then fail "bad escape";
-        (match s.[!pos] with
-        | '"' -> Buffer.add_char b '"'
-        | '\\' -> Buffer.add_char b '\\'
-        | '/' -> Buffer.add_char b '/'
-        | 'n' -> Buffer.add_char b '\n'
-        | 't' -> Buffer.add_char b '\t'
-        | 'r' -> Buffer.add_char b '\r'
-        | 'b' -> Buffer.add_char b '\b'
-        | 'f' -> Buffer.add_char b '\012'
-        | 'u' ->
-          if !pos + 4 >= n then fail "bad unicode escape";
-          (* Validation only: the code point itself is not decoded. *)
-          Buffer.add_char b '?';
-          pos := !pos + 4
-        | _ -> fail "bad escape");
-        incr pos;
-        go ()
-      | c ->
-        Buffer.add_char b c;
-        incr pos;
-        go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num s.[!pos] do
-      incr pos
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        Jobj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            members ((k, v) :: acc)
-          | Some '}' ->
-            incr pos;
-            List.rev ((k, v) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Jobj (members [])
-      end
-    | Some '[' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        Jarr []
-      end
-      else begin
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            items (v :: acc)
-          | Some ']' ->
-            incr pos;
-            List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Jarr (items [])
-      end
-    | Some '"' -> Jstr (parse_string ())
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some _ -> Jnum (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let validate_kernels_json path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  match parse_json s with
-  | exception Bad_json msg -> Error msg
-  | Jobj fields -> (
-    match List.assoc_opt "sections" fields with
-    | Some (Jobj secs) when secs <> [] ->
-      let row_ok = function
-        | Jobj r -> (
+(* Envelope validator shared by every section that writes a trajectory
+   file; callers exit nonzero on [Error], so bench-smoke fails loudly
+   on malformed JSON. *)
+let validate_bench_json path =
+  let module J = Observe.Json in
+  match J.parse (J.read_file path) with
+  | Error msg -> Error msg
+  | Ok j -> (
+    let str k = match J.member k j with Some (J.Jstr s) -> Some s | _ -> None in
+    match (str "schema", str "section", str "commit", J.member "entries" j) with
+    | Some s, _, _, _ when s <> bench_schema -> Error ("unexpected schema: " ^ s)
+    | Some _, Some _, Some _, Some (J.Jarr entries) when entries <> [] ->
+      let entry_ok = function
+        | J.Jobj fields -> (
           match
-            ( List.assoc_opt "name" r,
-              List.assoc_opt "n" r,
-              List.assoc_opt "m" r,
-              List.assoc_opt "trials" r,
-              List.assoc_opt "mean_ms" r )
+            (List.assoc_opt "name" fields, List.assoc_opt "ns_per_op" fields)
           with
-          | Some (Jstr _), Some (Jnum _), Some (Jnum _), Some (Jnum _),
-            Some (Jnum ms) ->
-            ms >= 0.0
+          | Some (J.Jstr _), Some (J.Jnum ns) -> ns >= 0.0
           | _ -> false)
         | _ -> false
       in
-      let section_ok = function
-        | _, Jarr rows -> rows <> [] && List.for_all row_ok rows
-        | _ -> false
-      in
-      if List.for_all section_ok secs then Ok (List.length secs)
-      else Error "malformed section rows"
-    | _ -> Error "missing nonempty \"sections\" object")
-  | _ -> Error "top level is not an object"
+      if List.for_all entry_ok entries then Ok (List.length entries)
+      else Error "malformed entry"
+    | _ -> Error "missing schema/section/commit or nonempty entries")
+
+let write_bench_json ~section ~trials ~max_n ~path entries =
+  let oc = open_out path in
+  output_string oc (bench_json ~section ~trials ~max_n entries);
+  close_out oc;
+  match validate_bench_json path with
+  | Ok k ->
+    Printf.printf "wrote %s (%d entries, schema %s validated)\n" path k
+      bench_schema
+  | Error msg ->
+    Printf.eprintf "invalid JSON written to %s: %s\n" path msg;
+    exit 1
+
+(* A timed row in the shared envelope: mean_ms is kept as an extra for
+   human diffing, ns_per_op is the canonical value. *)
+let timed_entry ~section ~impl ~n ~m ~ms =
+  ( Printf.sprintf "%s/%s/n%d" section impl n,
+    ms *. 1e6,
+    [
+      ("impl", Observe.Json.Jstr impl);
+      ("n", Observe.Json.Jnum (float_of_int n));
+      ("m", Observe.Json.Jnum (float_of_int m));
+      ("mean_ms", Observe.Json.Jnum ms);
+    ] )
+
 
 let kernels_section ~trials ~max_n ~json_path () =
   header "kernels: set-based originals vs flat CSR/bitset ports";
@@ -1032,7 +906,7 @@ let kernels_section ~trials ~max_n ~json_path () =
     let run impl f =
       let ms = time_mean ~trials f in
       Printf.printf "%-10s %-5s %6d %8d %12.4f\n%!" section impl n m ms;
-      rows := !rows @ [ (section, (impl, n, m, trials, ms)) ];
+      rows := !rows @ [ timed_entry ~section ~impl ~n ~m ~ms ];
       ms
     in
     let t_sets = run "sets" sets in
@@ -1094,15 +968,7 @@ let kernels_section ~trials ~max_n ~json_path () =
           (if t_csr <= t_sets then "<=" else "SLOWER THAN")
           t_csr t_sets)
     [ "lexbfs"; "mcs"; "chordal"; "algorithm1" ];
-  let oc = open_out json_path in
-  output_string oc
-    (kernels_json ~schema:"minconn-bench-kernels/1" ~trials ~max_n !rows);
-  close_out oc;
-  match validate_kernels_json json_path with
-  | Ok k -> Printf.printf "wrote %s (%d sections, JSON validated)\n" json_path k
-  | Error msg ->
-    Printf.eprintf "invalid JSON written to %s: %s\n" json_path msg;
-    exit 1
+  write_bench_json ~section:"kernels" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
 (* Section: runtime                                                    *)
@@ -1129,7 +995,7 @@ let runtime_section ~trials ~max_n ~json_path () =
     let run impl f =
       let ms = time_mean ~trials f in
       Printf.printf "%-12s %-10s %6d %8d %12.4f\n%!" section impl n m ms;
-      rows := !rows @ [ (section, (impl, n, m, trials, ms)) ];
+      rows := !rows @ [ timed_entry ~section ~impl ~n ~m ~ms ];
       ms
     in
     let t_base = run "unlimited" base in
@@ -1168,15 +1034,137 @@ let runtime_section ~trials ~max_n ~json_path () =
         section ratio
         (if ratio <= 1.03 then "" else "  OVER TARGET"))
     (List.rev !largest);
-  let oc = open_out json_path in
-  output_string oc
-    (kernels_json ~schema:"minconn-bench-runtime/1" ~trials ~max_n !rows);
-  close_out oc;
-  match validate_kernels_json json_path with
-  | Ok k -> Printf.printf "wrote %s (%d sections, JSON validated)\n" json_path k
-  | Error msg ->
-    Printf.eprintf "invalid JSON written to %s: %s\n" json_path msg;
-    exit 1
+  write_bench_json ~section:"runtime" ~trials ~max_n ~path:json_path !rows
+
+(* ------------------------------------------------------------------ *)
+(* Section: observe                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Instrumentation overhead: the same solver call with observability
+   off (the default disabled trace/metrics: one load + branch per
+   checkpoint) versus a recording trace plus a live metrics registry,
+   and the microcost of one disabled checkpoint.  The per-checkpoint
+   cost times the checkpoint count bounds the disabled-instrumentation
+   overhead of a solve; the bound is recorded in the JSON (target
+   <= 2%% of the solve).  Writes BENCH_observe.json in the shared
+   envelope. *)
+let observe_section ~trials ~max_n ~json_path () =
+  header "observe: instrumentation overhead (disabled vs recording)";
+  Printf.printf "%-12s %-10s %6s %8s %12s\n" "section" "impl" "|V|" "|E|"
+    "mean ms";
+  let rows = ref [] in
+  let largest = ref [] in
+  let alg2_largest = ref None in
+  let pair ~section ~n ~m off on =
+    let run impl f =
+      let ms = time_mean ~trials f in
+      Printf.printf "%-12s %-10s %6d %8d %12.4f\n%!" section impl n m ms;
+      rows := !rows @ [ timed_entry ~section ~impl ~n ~m ~ms ];
+      ms
+    in
+    let t_off = run "disabled" off in
+    let t_on = run "recording" on in
+    largest :=
+      (section, (t_off, t_on)) :: List.remove_assoc section !largest
+  in
+  let sizes l = List.filter (fun x -> x <= max_n) l in
+  List.iter
+    (fun n_right ->
+      let rng = trial ~section:"observe-alg2" n_right in
+      let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:5 in
+      let u = Bigraph.ugraph g in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:5 in
+      alg2_largest := Some (u, p);
+      pair ~section:"algorithm2" ~n:(Bigraph.n g) ~m:(Bigraph.m g)
+        (fun () -> Algorithm2.solve u ~p)
+        (fun () ->
+          Algorithm2.solve
+            ~trace:(Observe.Trace.make ())
+            ~metrics:(Observe.Metrics.make ())
+            u ~p))
+    (sizes [ 20; 40; 80; 160 ]);
+  List.iter
+    (fun n_right ->
+      let rng = trial ~section:"observe-solve" n_right in
+      let g = Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:5 in
+      let p = Workloads.Gen_bipartite.random_terminals rng g ~k:4 in
+      pair ~section:"solve" ~n:(Bigraph.n g) ~m:(Bigraph.m g)
+        (fun () -> Minconn.solve g ~p)
+        (fun () ->
+          Minconn.solve
+            ~trace:(Observe.Trace.make ())
+            ~metrics:(Observe.Metrics.make ())
+            g ~p))
+    (sizes [ 20; 40; 80 ]);
+  (* Microcost of one checkpoint, disabled vs live, net of loop cost. *)
+  let reps = 1_000_000 in
+  let loop f () =
+    for _ = 1 to reps do
+      f ()
+    done
+  in
+  let t_empty = time_mean ~trials (loop (fun () -> ())) in
+  let t_off =
+    time_mean ~trials
+      (loop (fun () ->
+           Observe.Metrics.incr Observe.Metrics.inert;
+           ignore
+             (Sys.opaque_identity
+                (Observe.Trace.active Observe.Trace.disabled))))
+  in
+  let live = Observe.Metrics.make () in
+  let live_c = Observe.Metrics.counter live "bench.checkpoint" in
+  let t_live = time_mean ~trials (loop (fun () -> Observe.Metrics.incr live_c)) in
+  let per_ns t = Float.max 0.0 ((t -. t_empty) *. 1e6 /. float_of_int reps) in
+  let off_ns = per_ns t_off and live_ns = per_ns t_live in
+  Printf.printf "-- checkpoint: disabled %.2f ns/op, live %.2f ns/op\n" off_ns
+    live_ns;
+  rows :=
+    !rows
+    @ [
+        ( "checkpoint/disabled",
+          off_ns,
+          [ ("impl", Observe.Json.Jstr "disabled") ] );
+        ("checkpoint/live", live_ns, [ ("impl", Observe.Json.Jstr "live") ]);
+      ];
+  List.iter
+    (fun (section, (t_off, t_on)) ->
+      let ratio = if t_off > 0.0 then t_on /. t_off else 1.0 in
+      Printf.printf "-- %-12s largest instance: recording/disabled = %.4f\n"
+        section ratio)
+    (List.rev !largest);
+  (* Bound the disabled-instrumentation overhead of the largest
+     algorithm2 solve: checkpoints (elimination steps) times the
+     per-checkpoint disabled cost, as a fraction of the solve. *)
+  (match (!alg2_largest, List.assoc_opt "algorithm2" !largest) with
+  | Some (u, p), Some (t_off_ms, _) when t_off_ms > 0.0 ->
+    let m = Observe.Metrics.make () in
+    ignore (Algorithm2.solve ~metrics:m u ~p);
+    let steps =
+      match List.assoc_opt "elimination.steps" (Observe.Metrics.counters m) with
+      | Some k -> k
+      | None -> 0
+    in
+    let bound_pct =
+      float_of_int steps *. off_ns /. (t_off_ms *. 1e6) *. 100.0
+    in
+    Printf.printf
+      "-- disabled-instrumentation bound: %d checkpoints x %.2f ns = %.4f%% \
+       of the solve (target <= 2%%)\n"
+      steps off_ns bound_pct;
+    rows :=
+      !rows
+      @ [
+          ( "overhead/disabled_bound",
+            off_ns,
+            [
+              ("checkpoints", Observe.Json.Jnum (float_of_int steps));
+              ("pct_of_solve", Observe.Json.Jnum bound_pct);
+              ("target_pct", Observe.Json.Jnum 2.0);
+            ] );
+        ]
+  | _ -> ());
+  write_bench_json ~section:"observe" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -1184,6 +1172,7 @@ let () =
   let trials = ref 5 and max_n = ref 384 in
   let json_path = ref "BENCH_kernels.json" in
   let runtime_json_path = ref "BENCH_runtime.json" in
+  let observe_json_path = ref "BENCH_observe.json" in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--trials" :: v :: rest ->
@@ -1197,6 +1186,9 @@ let () =
       parse_args acc rest
     | "--runtime-json" :: v :: rest ->
       runtime_json_path := v;
+      parse_args acc rest
+    | "--observe-json" :: v :: rest ->
+      observe_json_path := v;
       parse_args acc rest
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -1235,6 +1227,10 @@ let () =
         fun () ->
           runtime_section ~trials:!trials ~max_n:!max_n
             ~json_path:!runtime_json_path () );
+      ( "observe",
+        fun () ->
+          observe_section ~trials:!trials ~max_n:!max_n
+            ~json_path:!observe_json_path () );
     ]
   in
   let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in

@@ -77,14 +77,38 @@ let report_provenance prov =
     (D.guarantee_name prov.D.guarantee)
 
 let solve_cmd =
-  let run path terminals timeout_ms fuel no_degrade =
+  let run path terminals timeout_ms fuel no_degrade trace_file metrics_file =
+    let trace =
+      match trace_file with
+      | None -> Observe.Trace.disabled
+      | Some _ -> Observe.Trace.make ()
+    in
+    let metrics =
+      match metrics_file with
+      | None -> Observe.Metrics.disabled
+      | Some _ -> Observe.Metrics.make ()
+    in
+    (* Written on every exit path, including error exits, so a budget
+       abort still leaves the spans recorded up to that point. *)
+    let flush_observability () =
+      Option.iter
+        (fun path -> Observe.Export.write_trace ~path trace)
+        trace_file;
+      Option.iter
+        (fun path -> Observe.Export.write_metrics ~path metrics)
+        metrics_file
+    in
+    let die code =
+      flush_observability ();
+      exit code
+    in
     let nb = or_die (load_bigraph path) in
     let p =
       match Mc_io.Parse.name_set nb terminals with
       | Ok p -> p
       | Error n ->
         Printf.eprintf "minconn: error=unknown-terminal name=%s\n" n;
-        exit exit_input_error
+        die exit_input_error
     in
     let budget =
       match (timeout_ms, fuel) with
@@ -92,11 +116,12 @@ let solve_cmd =
       | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
     in
     match
-      Minconn.solve ~budget ~degrade:(not no_degrade) nb.Mc_io.Parse.graph ~p
+      Minconn.solve ~budget ~degrade:(not no_degrade) ~trace ~metrics
+        nb.Mc_io.Parse.graph ~p
     with
     | Error e ->
       Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
-      exit (Minconn.Errors.exit_code e)
+      die (Minconn.Errors.exit_code e)
     | Ok s ->
       let how =
         match s.Minconn.method_used with
@@ -109,6 +134,7 @@ let solve_cmd =
       Printf.printf "method: %s\n" how;
       print_tree nb s.Minconn.tree;
       let degraded = Minconn.Degrade.degraded s.Minconn.provenance in
+      flush_observability ();
       if degraded then begin
         report_provenance s.Minconn.provenance;
         exit 2
@@ -141,13 +167,29 @@ let solve_cmd =
           ~doc:"Fail with exit code 5 instead of degrading to a weaker \
                 rung when the budget is exhausted")
   in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write an NDJSON span stream (classify, ladder rungs, \
+                verify) to $(docv)")
+  in
+  let metrics_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot (counters, histograms) to \
+                $(docv)")
+  in
   Cmd.v
     (Cmd.info "solve"
        ~doc:
          "Find a minimal connection over the terminals. Exit codes: 0 \
           solved exactly, 2 solved degraded, 3 no cover, 4 input error, \
           5 budget exhausted with --no-degrade.")
-    Term.(const run $ path $ terminals $ timeout_ms $ fuel $ no_degrade)
+    Term.(
+      const run $ path $ terminals $ timeout_ms $ fuel $ no_degrade
+      $ trace_file $ metrics_file)
 
 let relations_cmd =
   let run path terminals =

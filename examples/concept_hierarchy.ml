@@ -40,10 +40,12 @@ let () =
   let show objects =
     Format.printf "query {%s}:@." (String.concat ", " objects);
     (match Layered.minimal_connection hierarchy ~objects with
-    | Some (nodes, edges) ->
+    | Ok (nodes, edges) ->
       Format.printf "  connection: {%s}@." (String.concat ", " nodes);
       List.iter (fun (a, b) -> Format.printf "    %s -- %s@." a b) edges
-    | None -> Format.printf "  (not connectable)@.");
+    | Error e ->
+      Format.printf "  (not connectable: %s)@."
+        (Format.asprintf "%a" Minconn.Errors.pp e));
     let alts = Layered.interpretations ~k:3 hierarchy ~objects in
     if List.length alts > 1 then begin
       Format.printf "  alternatives:@.";

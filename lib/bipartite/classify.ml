@@ -21,22 +21,52 @@ type recommendation =
   | Pseudo_steiner_both
   | Exact_search_only
 
-let profile g =
-  let h1 = Side_properties.hypergraph_of_witness_side g Bigraph.V2 in
-  let h2 = Side_properties.hypergraph_of_witness_side g Bigraph.V1 in
-  {
-    chordal_41 = Mn_chordality.is_41_chordal g;
-    chordal_62 = Mn_chordality.is_62_chordal g;
-    chordal_61 = Mn_chordality.is_61_chordal g;
-    v2_chordal = Side_properties.chordal g Bigraph.V2;
-    v2_conformal = Side_properties.conformal g Bigraph.V2;
-    v1_chordal = Side_properties.chordal g Bigraph.V1;
-    v1_conformal = Side_properties.conformal g Bigraph.V1;
-    alpha_h1 = Gyo.alpha_acyclic h1;
-    alpha_h2 = Gyo.alpha_acyclic h2;
-    degree_h1 = Acyclicity.degree h1;
-    degree_h2 = Acyclicity.degree h2;
-  }
+let profile ?(trace = Observe.Trace.disabled) g =
+  let sp name f = Observe.Trace.span trace name f in
+  Observe.Trace.span trace "classify"
+    ~attrs:
+      [
+        ("nl", Observe.Trace.Int (Bigraph.nl g));
+        ("nr", Observe.Trace.Int (Bigraph.nr g));
+      ]
+    (fun () ->
+      let h1 = Side_properties.hypergraph_of_witness_side g Bigraph.V2 in
+      let h2 = Side_properties.hypergraph_of_witness_side g Bigraph.V1 in
+      let chordal_41 = sp "classify.chordal_41" (fun () -> Mn_chordality.is_41_chordal g) in
+      let chordal_62 = sp "classify.chordal_62" (fun () -> Mn_chordality.is_62_chordal g) in
+      let chordal_61 = sp "classify.chordal_61" (fun () -> Mn_chordality.is_61_chordal g) in
+      let side =
+        sp "classify.sides" (fun () ->
+            ( Side_properties.chordal g Bigraph.V2,
+              Side_properties.conformal g Bigraph.V2,
+              Side_properties.chordal g Bigraph.V1,
+              Side_properties.conformal g Bigraph.V1 ))
+      in
+      let v2_chordal, v2_conformal, v1_chordal, v1_conformal = side in
+      let alpha_h1, alpha_h2 =
+        sp "classify.alpha" (fun () ->
+            (Gyo.alpha_acyclic h1, Gyo.alpha_acyclic h2))
+      in
+      let degree_h1, degree_h2 =
+        sp "classify.degree" (fun () ->
+            (Acyclicity.degree h1, Acyclicity.degree h2))
+      in
+      Observe.Trace.add_attr trace "chordal_41" (Observe.Trace.Bool chordal_41);
+      Observe.Trace.add_attr trace "chordal_62" (Observe.Trace.Bool chordal_62);
+      Observe.Trace.add_attr trace "chordal_61" (Observe.Trace.Bool chordal_61);
+      {
+        chordal_41;
+        chordal_62;
+        chordal_61;
+        v2_chordal;
+        v2_conformal;
+        v1_chordal;
+        v1_conformal;
+        alpha_h1;
+        alpha_h2;
+        degree_h1;
+        degree_h2;
+      })
 
 let recommend p =
   if p.chordal_62 then Steiner_polynomial

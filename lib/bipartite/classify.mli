@@ -34,7 +34,10 @@ type recommendation =
       (** no structure: fall back to exponential exact search or the
           MST approximation. *)
 
-val profile : Bigraph.t -> profile
+val profile : ?trace:Observe.Trace.t -> Bigraph.t -> profile
+(** [trace] (default disabled) records a ["classify"] span with one
+    child span per recognizer family and the headline chordality
+    verdicts as attributes. *)
 
 val recommend : profile -> recommendation
 

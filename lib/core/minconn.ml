@@ -62,20 +62,29 @@ type rung_spec = {
 
 (* The cheap connectivity rejection runs before the classifier, and the
    profile is computed exactly once and reused by every rung. *)
-let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
+let solve ?(budget = Budget.unlimited) ?(degrade = true)
+    ?(trace = Observe.Trace.disabled) ?(metrics = Observe.Metrics.disabled) g
+    ~p =
   let u = Bigraph.ugraph g in
   if Iset.is_empty p then Error (Errors.Invalid_instance "empty terminal set")
   else if not (Iset.subset p (Ugraph.nodes u)) then
     Error (Errors.Invalid_instance "terminal index out of range")
   else if not (Traverse.connects u p) then Error Errors.Disconnected_terminals
   else begin
-    let profile = Classify.profile g in
+    Observe.Trace.span trace "solve"
+      ~attrs:
+        [
+          ("terminals", Observe.Trace.Int (Iset.cardinal p));
+          ("nodes", Observe.Trace.Int (Ugraph.n u));
+        ]
+    @@ fun () ->
+    let profile = Classify.profile ~trace g in
     let mst_rung =
       {
         rung = Errors.Mst;
         meth = Used_mst_approx;
         guarantee = Degrade.Ratio 2.0;
-        run = (fun () -> Mst_approx.solve u ~terminals:p);
+        run = (fun () -> Mst_approx.solve ~trace u ~terminals:p);
       }
     in
     let fixpoint_rung =
@@ -83,7 +92,7 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
         rung = Errors.Fixpoint;
         meth = Used_elimination;
         guarantee = Degrade.Heuristic;
-        run = (fun () -> Algorithm2.solve ~budget u ~p);
+        run = (fun () -> Algorithm2.solve ~budget ~trace ~metrics u ~p);
       }
     in
     let pre_attempts, ladder =
@@ -108,7 +117,7 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
               rung = Errors.Exact_structured;
               meth = Used_algorithm2;
               guarantee = Degrade.Exact;
-              run = (fun () -> Algorithm2.solve ~budget u ~p);
+              run = (fun () -> Algorithm2.solve ~budget ~trace ~metrics u ~p);
             };
             mst_rung;
           ] )
@@ -119,7 +128,9 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
               rung = Errors.Exact_dp;
               meth = Used_exact_dp;
               guarantee = Degrade.Exact;
-              run = (fun () -> Dreyfus_wagner.solve ~budget u ~terminals:p);
+              run =
+                (fun () ->
+                  Dreyfus_wagner.solve ~budget ~trace ~metrics u ~terminals:p);
             };
             fixpoint_rung;
             mst_rung;
@@ -135,6 +146,37 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
           ],
           [ fixpoint_rung; mst_rung ] )
     in
+    let abandonments = Observe.Metrics.counter metrics "rung.abandonments" in
+    let budget_checks = Observe.Metrics.counter metrics "budget.checks" in
+    (* One span per attempted rung: outcome, abandonment reason, and the
+       number of cooperative budget checks the rung consumed (a delta of
+       [Budget.spent], so the hot path gains no new counter). *)
+    let run_rung spec =
+      Observe.Trace.span trace ("rung:" ^ Errors.rung_name spec.rung)
+      @@ fun () ->
+      let checks0 = Budget.spent budget in
+      let outcome =
+        match spec.run () with
+        | Some tree -> `Ran tree
+        | None -> `Abandoned Degrade.Out_of_class
+        | exception Budget.Exhausted stop ->
+          `Exhausted (stop, Degrade.reason_of_stop stop)
+      in
+      Observe.Metrics.incr ~by:(Budget.spent budget - checks0) budget_checks;
+      Observe.Trace.add_attr trace "budget_checks"
+        (Observe.Trace.Int (Budget.spent budget - checks0));
+      (match outcome with
+      | `Ran tree ->
+        Observe.Trace.add_attr trace "outcome" (Observe.Trace.Str "ran");
+        Observe.Trace.add_attr trace "tree_nodes"
+          (Observe.Trace.Int (Tree.node_count tree))
+      | `Abandoned why | `Exhausted (_, why) ->
+        Observe.Metrics.incr abandonments;
+        Observe.Trace.add_attr trace "outcome" (Observe.Trace.Str "abandoned");
+        Observe.Trace.add_attr trace "reason"
+          (Observe.Trace.Str (Degrade.reason_name why)));
+      outcome
+    in
     let rec descend attempts = function
       | [] ->
         (* Unreachable with a connected [p]: the MST rung is
@@ -145,8 +187,8 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
              | { Degrade.rung; _ } :: _ -> rung
              | [] -> Errors.Mst))
       | spec :: rest -> (
-        match spec.run () with
-        | Some tree ->
+        match run_rung spec with
+        | `Ran tree ->
           let provenance =
             {
               Degrade.ran = spec.rung;
@@ -154,6 +196,11 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
               guarantee = spec.guarantee;
             }
           in
+          Degrade.trace_ran trace provenance;
+          if Observe.Trace.active trace then
+            Observe.Trace.span trace "verify" (fun () ->
+                Observe.Trace.add_attr trace "covers_terminals"
+                  (Observe.Trace.Bool (Tree.verify u ~terminals:p tree)));
           Ok
             {
               tree;
@@ -162,16 +209,17 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true) g ~p =
               profile;
               provenance;
             }
-        | None ->
-          descend ({ Degrade.rung = spec.rung; why = Degrade.Out_of_class } :: attempts) rest
-        | exception Budget.Exhausted stop ->
-          if degrade then
-            descend
-              ({ Degrade.rung = spec.rung; why = Degrade.reason_of_stop stop }
-              :: attempts)
-              rest
+        | `Abandoned why ->
+          let attempt = { Degrade.rung = spec.rung; why } in
+          Degrade.trace_abandon trace attempt;
+          descend (attempt :: attempts) rest
+        | `Exhausted (_, why) ->
+          let attempt = { Degrade.rung = spec.rung; why } in
+          Degrade.trace_abandon trace attempt;
+          if degrade then descend (attempt :: attempts) rest
           else Error (Errors.Budget_exhausted spec.rung))
     in
+    List.iter (Degrade.trace_abandon trace) pre_attempts;
     descend (List.rev pre_attempts) ladder
   end
 

@@ -69,6 +69,8 @@ type solution = {
 val solve :
   ?budget:Budget.t ->
   ?degrade:bool ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
   Bigraph.t ->
   p:Iset.t ->
   (solution, Errors.t) result
@@ -83,7 +85,19 @@ val solve :
     the profile is computed exactly once. With [~degrade:false] the
     first exhausted rung is reported as [Error (Budget_exhausted _)]
     instead of falling through. The internal [Budget.Exhausted] signal
-    never escapes this function. *)
+    never escapes this function.
+
+    [trace] (default disabled) records a ["solve"] root span with the
+    classifier's child spans, one ["rung:<name>"] span per attempted
+    rung (outcome, abandonment reason, budget-check delta), structured
+    ["ladder.abandon"]/["ladder.ran"] events mirroring the returned
+    provenance, and — only when tracing is on — a ["verify"] span that
+    re-checks the returned tree against the terminals. [metrics]
+    (default disabled) accumulates [budget.checks] and
+    [rung.abandonments] counters plus the solver histograms
+    ([elimination.steps_per_solve], [dp.table_size]). Both default to
+    shared inert instances whose cost at every instrumentation site is
+    one load and one branch. *)
 
 val solve_steiner :
   ?budget:Budget.t -> Bigraph.t -> p:Iset.t -> solution option

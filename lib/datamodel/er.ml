@@ -53,7 +53,11 @@ let object_name t i =
 
 let to_ugraph t =
   let idx name =
-    match object_index t name with Some i -> i | None -> assert false
+    match object_index t name with
+    | Some i -> i
+    | None ->
+      (* Unreachable through [make], which validates every reference. *)
+      invalid_arg ("Er.to_ugraph: unknown object: " ^ name)
   in
   let b = Ugraph.Builder.create (Array.length t.names) in
   List.iter
@@ -72,28 +76,34 @@ let is_bipartite t =
   | Some _ -> true
   | None -> false
 
+(* Distinguish an unknown name (a typed instance error) from a
+   disconnected query: the two used to collapse into [None]. *)
 let resolve t names =
   let rec go acc = function
-    | [] -> Some acc
+    | [] -> Ok acc
     | n :: rest -> (
       match object_index t n with
       | Some i -> go (Iset.add i acc) rest
-      | None -> None)
+      | None -> Error n)
   in
   go Iset.empty names
 
 let minimal_connection t ~objects =
   match resolve t objects with
-  | None -> None
-  | Some p -> (
+  | Error n -> Error (Runtime.Errors.Invalid_instance ("unknown object: " ^ n))
+  | Ok p -> (
     let g = to_ugraph t in
-    if Iset.cardinal p > Dreyfus_wagner.max_terminals then None
+    if Iset.cardinal p > Dreyfus_wagner.max_terminals then
+      Error
+        (Runtime.Errors.Invalid_instance
+           (Printf.sprintf "more than %d distinct objects"
+              Dreyfus_wagner.max_terminals))
     else
       match Dreyfus_wagner.solve g ~terminals:p with
-      | None -> None
+      | None -> Error Runtime.Errors.Disconnected_terminals
       | Some tree ->
         let name = object_name t in
-        Some
+        Ok
           ( List.map name (Iset.elements tree.Tree.nodes),
             List.map (fun (u, v) -> (name u, name v)) tree.Tree.edges ))
 
@@ -103,8 +113,8 @@ let minimal_connection t ~objects =
    different navigation, just a decorated copy of another answer). *)
 let interpretations ?(k = 3) t ~objects =
   match resolve t objects with
-  | None -> []
-  | Some p ->
+  | Error _ -> []
+  | Ok p ->
     if Iset.cardinal p + 1 > Dreyfus_wagner.max_terminals then []
     else begin
       let g = to_ugraph t in

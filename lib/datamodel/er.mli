@@ -39,9 +39,13 @@ val object_name : t -> int -> string
 val is_bipartite : t -> bool
 
 val minimal_connection :
-  t -> objects:string list -> (string list * (string * string) list) option
+  t ->
+  objects:string list ->
+  (string list * (string * string) list, Runtime.Errors.t) result
 (** Exact Steiner over the named objects: [(tree node names, tree
-    edges)], or [None] if unknown/disconnected. *)
+    edges)]. Unknown names and over-cap queries are
+    [Error (Invalid_instance _)]; objects in different components are
+    [Error Disconnected_terminals]. *)
 
 val interpretations : ?k:int -> t -> objects:string list -> string list list
 (** Ranked alternative connections (node-name sets), smallest first —

@@ -13,6 +13,12 @@ let make ~levels ~definitions =
   let all = List.concat levels in
   if List.length (List.sort_uniq compare all) <> List.length all then
     invalid_arg "Layered.make: duplicate object name";
+  let def_names = List.map fst definitions in
+  (* [to_bigraph] walks every definition entry, so a duplicate whose
+     second occurrence was never validated used to reach the graph
+     construction unchecked — reject duplicates outright. *)
+  if List.length (List.sort_uniq compare def_names) <> List.length def_names
+  then invalid_arg "Layered.make: duplicate definition";
   let level_of_name = Hashtbl.create 16 in
   List.iteri
     (fun l names -> List.iter (fun n -> Hashtbl.replace level_of_name n l) names)
@@ -27,26 +33,24 @@ let make ~levels ~definitions =
             match List.assoc_opt n definitions with
             | None | Some [] ->
               invalid_arg ("Layered.make: object without definition: " ^ n)
-            | Some parts ->
-              List.iter
-                (fun p ->
-                  match Hashtbl.find_opt level_of_name p with
-                  | Some lp when lp = l - 1 -> ()
-                  | Some _ ->
-                    invalid_arg
-                      (Printf.sprintf
-                         "Layered.make: %s (level %d) references %s outside \
-                          level %d"
-                         n l p (l - 1))
-                  | None ->
-                    invalid_arg ("Layered.make: unknown object " ^ p))
-                parts)
+            | Some _ -> ())
           names)
     levels;
   List.iter
-    (fun (n, _) ->
+    (fun (n, parts) ->
       match Hashtbl.find_opt level_of_name n with
-      | Some l when l > 0 -> ()
+      | Some l when l > 0 ->
+        List.iter
+          (fun p ->
+            match Hashtbl.find_opt level_of_name p with
+            | Some lp when lp = l - 1 -> ()
+            | Some _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Layered.make: %s (level %d) references %s outside level %d"
+                   n l p (l - 1))
+            | None -> invalid_arg ("Layered.make: unknown object " ^ p))
+          parts
       | Some _ -> invalid_arg ("Layered.make: level-0 object has a definition: " ^ n)
       | None -> invalid_arg ("Layered.make: definition for unknown object " ^ n))
     definitions;
@@ -89,16 +93,22 @@ let to_bigraph t =
           (fun p ->
             (* One endpoint is on an even level, the other on the
                adjacent odd level. *)
+            (* Unreachable through [make], which validates every
+               definition entry (including duplicates) against the
+               level structure. *)
+            let bad who =
+              invalid_arg ("Layered.to_bigraph: unknown object: " ^ who)
+            in
             match (position t.left n, position t.right n) with
             | Some i, _ -> (
               match position t.right p with
               | Some j -> (i, j)
-              | None -> assert false)
+              | None -> bad p)
             | None, Some j -> (
               match position t.left p with
               | Some i -> (i, j)
-              | None -> assert false)
-            | None, None -> assert false)
+              | None -> bad p)
+            | None, None -> bad n)
           parts)
       t.defs
   in
@@ -120,27 +130,33 @@ let object_name t v =
 
 let profile t = Classify.profile (to_bigraph t)
 
+(* Distinguish an unknown name (a typed instance error) from a
+   disconnected query: the two used to collapse into [None]. *)
 let resolve t names =
   let rec go acc = function
-    | [] -> Some acc
+    | [] -> Ok acc
     | n :: rest -> (
       match object_index t n with
       | Some v -> go (Iset.add v acc) rest
-      | None -> None)
+      | None -> Error n)
   in
   go Iset.empty names
 
 let minimal_connection t ~objects =
   match resolve t objects with
-  | None -> None
-  | Some p ->
-    if Iset.cardinal p > Dreyfus_wagner.max_terminals then None
+  | Error n -> Error (Runtime.Errors.Invalid_instance ("unknown object: " ^ n))
+  | Ok p ->
+    if Iset.cardinal p > Dreyfus_wagner.max_terminals then
+      Error
+        (Runtime.Errors.Invalid_instance
+           (Printf.sprintf "more than %d distinct objects"
+              Dreyfus_wagner.max_terminals))
     else
       let g = Bigraph.ugraph (to_bigraph t) in
       (match Dreyfus_wagner.solve g ~terminals:p with
-      | None -> None
+      | None -> Error Runtime.Errors.Disconnected_terminals
       | Some tree ->
-        Some
+        Ok
           ( List.map (object_name t) (Iset.elements tree.Tree.nodes),
             List.map
               (fun (u, v) -> (object_name t u, object_name t v))
@@ -148,8 +164,8 @@ let minimal_connection t ~objects =
 
 let interpretations ?(k = 3) t ~objects =
   match resolve t objects with
-  | None -> []
-  | Some p ->
+  | Error _ -> []
+  | Ok p ->
     let g = Bigraph.ugraph (to_bigraph t) in
     Kbest.enumerate ~max_trees:k g ~terminals:p
     |> List.map (fun tree ->

@@ -20,8 +20,9 @@ val make : levels:string list list -> definitions:(string * string list) list ->
 (** [levels] lists the object names per level, level 0 first.
     [definitions] gives, for every object above level 0, the objects of
     the level immediately below that define it. Raises
-    [Invalid_argument] on duplicate names, missing definitions,
-    references that skip levels, or empty definitions. *)
+    [Invalid_argument] on duplicate names, duplicate definition entries,
+    missing definitions, references that skip levels, or empty
+    definitions. *)
 
 val n_levels : t -> int
 
@@ -41,8 +42,12 @@ val object_name : t -> int -> string
 val profile : t -> Classify.profile
 
 val minimal_connection :
-  t -> objects:string list -> (string list * (string * string) list) option
+  t ->
+  objects:string list ->
+  (string list * (string * string) list, Runtime.Errors.t) result
 (** Exact minimal connection over the named objects (the conceptual
-    navigation), or [None] if unknown/disconnected/too large. *)
+    navigation). Unknown names and over-cap queries are
+    [Error (Invalid_instance _)]; objects in different components are
+    [Error Disconnected_terminals]. *)
 
 val interpretations : ?k:int -> t -> objects:string list -> string list list

@@ -62,7 +62,10 @@ let to_bigraph t =
              (fun a ->
                match attr_index t a with
                | Some i -> (i, j)
-               | None -> assert false)
+               | None ->
+                 (* Unreachable through [make], which derives the
+                    attribute universe from the relations themselves. *)
+                 invalid_arg ("Schema.to_bigraph: unknown attribute: " ^ a))
              attrs)
          t.relations)
   in
@@ -70,7 +73,9 @@ let to_bigraph t =
 
 let to_hypergraph t =
   let index a =
-    match attr_index t a with Some i -> i | None -> assert false
+    match attr_index t a with
+    | Some i -> i
+    | None -> invalid_arg ("Schema.to_hypergraph: unknown attribute: " ^ a)
   in
   Hypergraph.create
     ~n_nodes:(List.length t.attr_list)

@@ -1,0 +1,140 @@
+(* Serialization of traces and metric registries, plus the shape
+   validators used by tests and the trace-smoke rule. *)
+
+let value_json = function
+  | Trace.Bool b -> if b then "true" else "false"
+  | Trace.Int i -> string_of_int i
+  | Trace.Float f -> Printf.sprintf "%g" f
+  | Trace.Str s -> Printf.sprintf "\"%s\"" (Json.escape s)
+
+let span_line (s : Trace.span) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start_us\":%.1f,\"dur_us\":%.1f"
+    s.Trace.id s.Trace.parent (Json.escape s.Trace.name)
+    (s.Trace.start_s *. 1e6)
+    ((if s.Trace.dur_s < 0.0 then 0.0 else s.Trace.dur_s) *. 1e6);
+  (match Trace.attrs s with
+  | [] -> ()
+  | attrs ->
+    Buffer.add_string b ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\"%s\":%s" (Json.escape k) (value_json v))
+      attrs;
+    Buffer.add_char b '}');
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let trace_ndjson t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (span_line s);
+      Buffer.add_char b '\n')
+    (Trace.spans t);
+  Buffer.contents b
+
+let metrics_schema = "minconn-metrics/1"
+
+let metrics_json m =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\n  \"schema\": \"%s\",\n  \"counters\": {" metrics_schema;
+  let cs = Metrics.counters m in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\n    \"%s\": %d" (Json.escape name) v)
+    cs;
+  if cs <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "},\n  \"histograms\": {";
+  let hs = Metrics.histograms m in
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\n    \"%s\": { \"bounds\": [%s], \"buckets\": [%s], \"sum\": %.6f, \"events\": %d }"
+        (Json.escape (Metrics.hist_name h))
+        (String.concat ", "
+           (Array.to_list
+              (Array.map (Printf.sprintf "%g") (Metrics.hist_bounds h))))
+        (String.concat ", "
+           (Array.to_list (Array.map string_of_int (Metrics.hist_buckets h))))
+        (Metrics.hist_sum h) (Metrics.hist_events h))
+    hs;
+  if hs <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+let write_file ~path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let write_trace ~path t = write_file ~path (trace_ndjson t)
+let write_metrics ~path m = write_file ~path (metrics_json m)
+
+(* --- shape validators ------------------------------------------------ *)
+
+let span_obj_ok j =
+  match
+    ( Json.member "type" j,
+      Json.member "id" j,
+      Json.member "parent" j,
+      Json.member "name" j,
+      Json.member "start_us" j,
+      Json.member "dur_us" j )
+  with
+  | ( Some (Json.Jstr "span"),
+      Some (Json.Jnum id),
+      Some (Json.Jnum parent),
+      Some (Json.Jstr _),
+      Some (Json.Jnum start),
+      Some (Json.Jnum dur) ) ->
+    id >= 1.0 && parent >= 0.0 && start >= 0.0 && dur >= 0.0
+  | _ -> false
+
+let validate_ndjson_string s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then Error "empty trace stream"
+  else
+    let rec go i = function
+      | [] -> Ok (List.length lines)
+      | l :: rest -> (
+        match Json.parse l with
+        | Error msg -> Error (Printf.sprintf "line %d: %s" (i + 1) msg)
+        | Ok j ->
+          if span_obj_ok j then go (i + 1) rest
+          else Error (Printf.sprintf "line %d: not a span object" (i + 1)))
+    in
+    go 0 lines
+
+let validate_metrics_string s =
+  match Json.parse s with
+  | Error msg -> Error msg
+  | Ok j -> (
+    match
+      (Json.member "schema" j, Json.member "counters" j, Json.member "histograms" j)
+    with
+    | Some (Json.Jstr sc), Some (Json.Jobj cs), Some (Json.Jobj hs) ->
+      if sc <> metrics_schema then Error ("unexpected schema: " ^ sc)
+      else if
+        List.for_all (function _, Json.Jnum _ -> true | _ -> false) cs
+        && List.for_all
+             (fun (_, h) ->
+               match
+                 ( Json.member "bounds" h,
+                   Json.member "buckets" h,
+                   Json.member "sum" h,
+                   Json.member "events" h )
+               with
+               | Some (Json.Jarr _), Some (Json.Jarr _), Some (Json.Jnum _),
+                 Some (Json.Jnum _) ->
+                 true
+               | _ -> false)
+             hs
+      then Ok (List.length cs + List.length hs)
+      else Error "malformed counters or histograms"
+    | _ -> Error "missing schema/counters/histograms")

@@ -1,0 +1,24 @@
+(** Serialization of traces and metric registries.
+
+    Traces export as NDJSON, one span object per line:
+    [{"type":"span","id":N,"parent":N,"name":S,"start_us":F,"dur_us":F,
+      "attrs":{...}}].
+    Metrics export as a single JSON document with schema
+    {!metrics_schema}.  The validators check the shape of these streams
+    and are what the tests and the trace-smoke rule call. *)
+
+val span_line : Trace.span -> string
+val trace_ndjson : Trace.t -> string
+
+val metrics_schema : string
+val metrics_json : Metrics.t -> string
+
+val write_trace : path:string -> Trace.t -> unit
+val write_metrics : path:string -> Metrics.t -> unit
+
+val validate_ndjson_string : string -> (int, string) result
+(** [Ok n] with the number of span lines; [Error msg] with the first
+    offending line. *)
+
+val validate_metrics_string : string -> (int, string) result
+(** [Ok n] with the number of counters + histograms. *)

@@ -1,0 +1,29 @@
+(** Minimal JSON reader shared by the exporters, the bench harness, and
+    the smoke validators.  Parsing is for validation and tooling, not a
+    general-purpose library; strings with [\u] escapes are accepted but
+    the code point is not decoded. *)
+
+type t =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of t list
+  | Jobj of (string * t) list
+
+exception Bad_json of string
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON
+    output. *)
+
+val parse_exn : string -> t
+(** @raise Bad_json with an offset-bearing message on malformed input. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member k j] is the value of field [k] when [j] is an object. *)
+
+val read_file : string -> string
+(** Slurp a file as bytes; raises [Sys_error] if unreadable. *)

@@ -1,0 +1,94 @@
+type counter = { cname : string; mutable count : int; live : bool }
+
+type histogram = {
+  hname : string;
+  bounds : float array;  (* upper bucket bounds, strictly increasing *)
+  buckets : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable events : int;
+  live : bool;
+}
+
+type t = {
+  active : bool;
+  mutable counters : counter list;  (* reverse creation order *)
+  mutable histograms : histogram list;
+}
+
+(* A single shared dead counter/histogram backs the disabled registry,
+   so the hot-path [incr]/[observe] cost when metrics are off is one
+   field load plus a branch. *)
+let inert = { cname = ""; count = 0; live = false }
+
+let inert_histogram =
+  {
+    hname = "";
+    bounds = [||];
+    buckets = [| 0 |];
+    sum = 0.0;
+    events = 0;
+    live = false;
+  }
+
+let disabled = { active = false; counters = []; histograms = [] }
+let make () = { active = true; counters = []; histograms = [] }
+let active t = t.active
+
+let counter t name =
+  if not t.active then inert
+  else
+    match List.find_opt (fun c -> c.cname = name) t.counters with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; count = 0; live = true } in
+      t.counters <- c :: t.counters;
+      c
+
+let incr ?(by = 1) (c : counter) = if c.live then c.count <- c.count + by
+let count (c : counter) = c.count
+
+let default_bounds = [| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384. |]
+
+let histogram t ?(bounds = default_bounds) name =
+  if not t.active then inert_histogram
+  else
+    match List.find_opt (fun h -> h.hname = name) t.histograms with
+    | Some h -> h
+    | None ->
+      let bounds = Array.copy bounds in
+      Array.sort compare bounds;
+      let h =
+        {
+          hname = name;
+          bounds;
+          buckets = Array.make (Array.length bounds + 1) 0;
+          sum = 0.0;
+          events = 0;
+          live = true;
+        }
+      in
+      t.histograms <- h :: t.histograms;
+      h
+
+let observe h v =
+  if h.live then begin
+    let k = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < k && v > h.bounds.(!i) do
+      i := !i + 1
+    done;
+    h.buckets.(!i) <- h.buckets.(!i) + 1;
+    h.sum <- h.sum +. v;
+    h.events <- h.events + 1
+  end
+
+let counters t =
+  List.rev_map (fun c -> (c.cname, c.count)) t.counters
+
+let histograms t = List.rev t.histograms
+
+let hist_name h = h.hname
+let hist_bounds h = Array.copy h.bounds
+let hist_buckets h = Array.copy h.buckets
+let hist_sum h = h.sum
+let hist_events h = h.events

@@ -1,0 +1,99 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;  (* 1-based; 0 means "no parent" *)
+  parent : int;
+  name : string;
+  start_s : float;  (* seconds since the trace was created *)
+  mutable dur_s : float;  (* -1 while the span is open *)
+  mutable attrs : (string * value) list;  (* reverse insertion order *)
+}
+
+type t = {
+  active : bool;
+  clock : unit -> float;
+  t0 : float;
+  mutable next_id : int;
+  mutable stack : span list;  (* open spans, innermost first *)
+  mutable closed : span list;  (* reverse completion order *)
+}
+
+(* Shared inert instance: every recording entry point bails on [active]
+   first, so the disabled path is a single load + branch. *)
+let disabled =
+  {
+    active = false;
+    clock = (fun () -> 0.0);
+    t0 = 0.0;
+    next_id = 1;
+    stack = [];
+    closed = [];
+  }
+
+let make ?(clock = Unix.gettimeofday) () =
+  { active = true; clock; t0 = clock (); next_id = 1; stack = []; closed = [] }
+
+let active t = t.active
+
+(* Durations are clamped at zero so a non-monotonic wall clock (NTP
+   step) can never produce a negative span. *)
+let now t =
+  let dt = t.clock () -. t.t0 in
+  if dt < 0.0 then 0.0 else dt
+
+let open_span t name attrs =
+  let parent = match t.stack with [] -> 0 | s :: _ -> s.id in
+  let s =
+    {
+      id = t.next_id;
+      parent;
+      name;
+      start_s = now t;
+      dur_s = -1.0;
+      attrs = List.rev attrs;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.stack <- s :: t.stack;
+  s
+
+let close_span t s =
+  let dur = now t -. s.start_s in
+  s.dur_s <- (if dur < 0.0 then 0.0 else dur);
+  (match t.stack with top :: rest when top == s -> t.stack <- rest | _ -> ());
+  t.closed <- s :: t.closed
+
+let span t ?(attrs = []) name f =
+  if not t.active then f ()
+  else begin
+    let s = open_span t name attrs in
+    match f () with
+    | v ->
+      close_span t s;
+      v
+    | exception e ->
+      s.attrs <- ("raised", Str (Printexc.to_string e)) :: s.attrs;
+      close_span t s;
+      raise e
+  end
+
+let add_attr t key v =
+  if t.active then
+    match t.stack with [] -> () | s :: _ -> s.attrs <- (key, v) :: s.attrs
+
+let event t ?(attrs = []) name =
+  if t.active then begin
+    let s = open_span t name attrs in
+    close_span t s
+  end
+
+(* Completed spans in id (creation) order; still-open spans are not
+   reported. *)
+let spans t =
+  List.sort (fun a b -> compare a.id b.id) t.closed
+
+let span_count t = List.length t.closed
+
+let attrs s = List.rev s.attrs
+
+let find_attr s key = List.assoc_opt key s.attrs

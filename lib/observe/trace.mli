@@ -1,0 +1,53 @@
+(** Hierarchical tracing spans with monotonic timings.
+
+    A trace records a tree of named spans; each span carries an id, its
+    parent's id (0 at the root), a start offset and duration in seconds
+    relative to the trace's creation, and a list of key/value
+    attributes.  The {!disabled} trace makes every recording entry point
+    a single field load plus branch, so instrumented code pays nothing
+    when observability is off. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = private {
+  id : int;
+  parent : int;  (** 0 when the span has no parent *)
+  name : string;
+  start_s : float;  (** seconds since the trace was created *)
+  mutable dur_s : float;  (** -1 while the span is still open *)
+  mutable attrs : (string * value) list;
+}
+
+type t
+
+val disabled : t
+(** Shared inert trace: records nothing, [active] is [false]. *)
+
+val make : ?clock:(unit -> float) -> unit -> t
+(** Fresh recording trace.  [clock] defaults to [Unix.gettimeofday];
+    inject a fake clock for deterministic tests. *)
+
+val active : t -> bool
+
+val span : t -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a new span.  The span is closed
+    (with its duration) when [f] returns or raises; on raise the
+    exception name is recorded as a ["raised"] attribute and the
+    exception re-raised. *)
+
+val add_attr : t -> string -> value -> unit
+(** Attach an attribute to the innermost open span, if any. *)
+
+val event : t -> ?attrs:(string * value) list -> string -> unit
+(** Zero-duration span, for point-in-time facts such as ladder
+    decisions. *)
+
+val spans : t -> span list
+(** Completed spans in creation (id) order. *)
+
+val span_count : t -> int
+
+val attrs : span -> (string * value) list
+(** Attributes in insertion order. *)
+
+val find_attr : span -> string -> value option

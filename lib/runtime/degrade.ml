@@ -41,3 +41,22 @@ let pp ppf p =
   List.iter (fun a -> Format.fprintf ppf "%a; " pp_attempt a) p.attempts;
   Format.fprintf ppf "ran %s (%s)" (Errors.rung_name p.ran)
     (guarantee_name p.guarantee)
+
+(* Ladder decisions as structured trace events, so a trace stream alone
+   reconstructs the provenance without parsing stderr. *)
+let trace_abandon trace a =
+  Observe.Trace.event trace "ladder.abandon"
+    ~attrs:
+      [
+        ("rung", Observe.Trace.Str (Errors.rung_name a.rung));
+        ("reason", Observe.Trace.Str (reason_name a.why));
+      ]
+
+let trace_ran trace p =
+  Observe.Trace.event trace "ladder.ran"
+    ~attrs:
+      [
+        ("rung", Observe.Trace.Str (Errors.rung_name p.ran));
+        ("guarantee", Observe.Trace.Str (guarantee_name p.guarantee));
+        ("degraded", Observe.Trace.Bool (degraded p));
+      ]

@@ -56,3 +56,10 @@ val pp_guarantee : Format.formatter -> guarantee -> unit
 val pp_attempt : Format.formatter -> attempt -> unit
 
 val pp : Format.formatter -> provenance -> unit
+
+val trace_abandon : Observe.Trace.t -> attempt -> unit
+(** Emit a ["ladder.abandon"] trace event (rung + reason attributes);
+    free on a disabled trace. *)
+
+val trace_ran : Observe.Trace.t -> provenance -> unit
+(** Emit a ["ladder.ran"] trace event (rung, guarantee, degraded). *)

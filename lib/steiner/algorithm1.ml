@@ -118,7 +118,7 @@ let eliminate_kernel u ~comp ~p w_order =
   done;
   Bitset.to_iset current
 
-let solve_with ~eliminate g ~p =
+let solve_with ~eliminate ?(trace = Observe.Trace.disabled) g ~p =
   let u = Bigraph.ugraph g in
   match Traverse.component_containing u p with
   | None -> Error Disconnected_terminals
@@ -139,11 +139,17 @@ let solve_with ~eliminate g ~p =
           elimination_order = [];
         }
     else begin
+      Observe.Trace.span trace "algorithm1"
+        ~attrs:[ ("component", Observe.Trace.Int (Iset.cardinal comp)) ]
+      @@ fun () ->
       let family =
         List.map (fun v -> Ugraph.neighbors u v) right_in_comp
       in
       let h = Hypergraph.create ~n_nodes:(Bigraph.nl g) family in
-      match Gyo.join_tree h with
+      match
+        Observe.Trace.span trace "algorithm1.join_tree" (fun () ->
+            Gyo.join_tree h)
+      with
       | None -> Error Not_alpha_acyclic
       | Some jt ->
         let rip = Join_tree.preorder jt in
@@ -154,21 +160,37 @@ let solve_with ~eliminate g ~p =
         Log.debug (fun m ->
             m "Lemma 1 ordering W = [%s]"
               (String.concat "; " (List.map string_of_int w_order)));
-        let survivors = eliminate u ~comp ~p w_order in
+        let survivors =
+          Observe.Trace.span trace "algorithm1.eliminate" (fun () ->
+              eliminate u ~comp ~p w_order)
+        in
         (match Tree.of_node_set u survivors with
-        | None -> assert false (* elimination preserves connectivity *)
         | Some tree ->
           Ok
             {
               tree;
               v2_count = Tree.count_in tree (Bigraph.right_nodes g);
               elimination_order = w_order;
-            })
+            }
+        | None when Iset.is_empty survivors ->
+          (* Empty terminal set: everything was eliminated; the empty
+             tree connects nothing vacuously. *)
+          Ok
+            {
+              tree = { Tree.nodes = Iset.empty; edges = [] };
+              v2_count = 0;
+              elimination_order = w_order;
+            }
+        | None ->
+          (* Defensive: every accepted elimination candidate is a
+             connected cover, so a spanning tree must exist; degrade
+             instead of crashing if that invariant is ever broken. *)
+          Error Disconnected_terminals)
     end
 
-let solve g ~p = solve_with ~eliminate:eliminate_kernel g ~p
+let solve ?trace g ~p = solve_with ~eliminate:eliminate_kernel ?trace g ~p
 
-let solve_sets g ~p = solve_with ~eliminate:eliminate_sets g ~p
+let solve_sets ?trace g ~p = solve_with ~eliminate:eliminate_sets ?trace g ~p
 
 let solve_wrt_v1 g ~p =
   let flipped = Bigraph.flip g in

@@ -29,12 +29,16 @@ type result = {
           right nodes) *)
 }
 
-val solve : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
+val solve :
+  ?trace:Observe.Trace.t -> Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
 (** [p] contains underlying indices (left or right nodes). The
     elimination loop (Step 2) runs on flat [Graphs.Csr] adjacency and
-    [Graphs.Bitset] node sets. *)
+    [Graphs.Bitset] node sets. [trace] records an ["algorithm1"] span
+    with ["algorithm1.join_tree"] and ["algorithm1.eliminate"] child
+    spans. *)
 
-val solve_sets : Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
+val solve_sets :
+  ?trace:Observe.Trace.t -> Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
 (** Set-based reference for the elimination loop; takes exactly the
     same elimination decisions as {!solve} and returns the same result.
     Differential-testing and benchmarking only. *)

@@ -16,6 +16,8 @@ open Bipartite
 val solve :
   ?order:int list ->
   ?budget:Runtime.Budget.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
   Ugraph.t ->
   p:Iset.t ->
   Tree.t option
@@ -24,11 +26,16 @@ val solve :
     increasing node ids and may mention any subset of nodes (missing
     nodes are appended in increasing order, terminals are skipped).
     [budget] is spent by the underlying {!Cover.eliminate_redundant}
-    fixpoint, one fuel unit per elimination candidate. *)
+    fixpoint, one fuel unit per elimination candidate. [trace] records
+    an ["algorithm2"] span (component size, survivor count); [metrics]
+    counts elimination steps ([elimination.steps] counter and
+    [elimination.steps_per_solve] histogram). *)
 
 val solve_bigraph :
   ?order:int list ->
   ?budget:Runtime.Budget.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
   Bigraph.t ->
   p:Iset.t ->
   Tree.t option

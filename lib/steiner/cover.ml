@@ -61,7 +61,8 @@ let side_minimum_brute g ~within ~p ~side =
   | [] -> None
   | l -> Some (List.fold_left min max_int l)
 
-let elimination_pass ?order ?(budget = Runtime.Budget.unlimited) g ~p current =
+let elimination_pass ?order ?(budget = Runtime.Budget.unlimited)
+    ?(steps = Observe.Metrics.inert) g ~p current =
   let order =
     match order with Some o -> o | None -> Iset.elements current
   in
@@ -70,22 +71,23 @@ let elimination_pass ?order ?(budget = Runtime.Budget.unlimited) g ~p current =
       if Iset.mem v p || not (Iset.mem v current) then current
       else begin
         Runtime.Budget.check budget;
+        Observe.Metrics.incr steps;
         let candidate = Iset.remove v current in
         if is_cover g ~p candidate then candidate else current
       end)
     current order
 
-let eliminate_redundant_once ?order ?budget g ~within ~p =
-  elimination_pass ?order ?budget g ~p within
+let eliminate_redundant_once ?order ?budget ?steps g ~within ~p =
+  elimination_pass ?order ?budget ?steps g ~p within
 
 (* One pass in the given order is not enough for nonredundancy: a node
    may be kept only because it connects a non-terminal that is itself
    deleted later in the pass (covers must be connected as a whole,
    Definition 10). Re-scan until a fixpoint, as Theorem 5's claim that
    Step 1 yields a nonredundant cover requires. *)
-let eliminate_redundant ?order ?budget g ~within ~p =
+let eliminate_redundant ?order ?budget ?steps g ~within ~p =
   let rec fixpoint current =
-    let next = elimination_pass ?order ?budget g ~p current in
+    let next = elimination_pass ?order ?budget ?steps g ~p current in
     if Iset.equal next current then current else fixpoint next
   in
   fixpoint within

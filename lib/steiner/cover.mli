@@ -31,6 +31,7 @@ val side_minimum_brute :
 val eliminate_redundant_once :
   ?order:int list ->
   ?budget:Runtime.Budget.t ->
+  ?steps:Observe.Metrics.counter ->
   Ugraph.t ->
   within:Iset.t ->
   p:Iset.t ->
@@ -42,6 +43,7 @@ val eliminate_redundant_once :
 val eliminate_redundant :
   ?order:int list ->
   ?budget:Runtime.Budget.t ->
+  ?steps:Observe.Metrics.counter ->
   Ugraph.t ->
   within:Iset.t ->
   p:Iset.t ->
@@ -53,7 +55,8 @@ val eliminate_redundant :
     fuel unit is spent per elimination candidate; exhaustion raises
     the internal [Runtime.Budget.Exhausted] signal (callers at the
     runtime boundary catch it; the fixpoint leaves no partial
-    state behind — inputs are immutable). *)
+    state behind — inputs are immutable). [steps] (default inert) is
+    bumped once per considered elimination candidate. *)
 
 val is_nonredundant_path : Ugraph.t -> int list -> bool
 (** The path's node set induces a nonredundant cover of its two

@@ -10,7 +10,14 @@ type choice =
   | Merge of int  (** split into submask / complement at [v] *)
   | Via of int  (** tree at [u] extended by a shortest u–v path *)
 
-let solve ?within ?(budget = Runtime.Budget.unlimited) g ~terminals =
+(* Raised (and caught below) when tree reconstruction hits a state the
+   DP invariants say is impossible; degrading to [None] lets the
+   runtime ladder fall through instead of crashing the process. *)
+exception Reconstruction_failed
+
+let solve ?within ?(budget = Runtime.Budget.unlimited)
+    ?(trace = Observe.Trace.disabled) ?(metrics = Observe.Metrics.disabled) g
+    ~terminals =
   let w = match within with Some w -> w | None -> Ugraph.nodes g in
   if not (Iset.subset terminals w) then None
   else if Iset.cardinal terminals <= 1 then
@@ -23,6 +30,18 @@ let solve ?within ?(budget = Runtime.Budget.unlimited) g ~terminals =
       invalid_arg "Dreyfus_wagner.solve: too many terminals";
     let n = Ugraph.n g in
     let full = (1 lsl t) - 1 in
+    Observe.Trace.span trace "dreyfus_wagner"
+      ~attrs:
+        [
+          ("terminals", Observe.Trace.Int t);
+          ("masks", Observe.Trace.Int (full + 1));
+          ("table_cells", Observe.Trace.Int ((full + 1) * n));
+        ]
+    @@ fun () ->
+    Observe.Metrics.observe
+      (Observe.Metrics.histogram metrics "dp.table_size"
+         ~bounds:[| 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 |])
+      (float_of_int ((full + 1) * n));
     (* Distances restricted to [w], from every node (sparse: only nodes
        in w are sources we need, but indexing by node id is simplest). *)
     let dist = Array.init n (fun s -> if Iset.mem s w then Traverse.bfs ~within:w g s else Array.make n (-1)) in
@@ -128,7 +147,7 @@ let solve ?within ?(budget = Runtime.Budget.unlimited) g ~terminals =
             in
             match pred with
             | Some y -> go y
-            | None -> assert false
+            | None -> raise Reconstruction_failed
           end
         in
         go v
@@ -148,14 +167,16 @@ let solve ?within ?(budget = Runtime.Budget.unlimited) g ~terminals =
           rebuild sub v;
           rebuild (mask lxor sub) v
       in
-      rebuild full !root;
-      (* The collected node set is connected and has exactly opt + 1
-         nodes (the reconstruction walks at most opt distinct edges and
-         any connected cover needs at least that many), so a spanning
-         tree of it is an optimal Steiner tree. *)
-      match Spanning.spanning_tree ~within:!nodes g with
-      | Some tree_edges -> Some { Tree.nodes = !nodes; edges = tree_edges }
-      | None -> assert false
+      match rebuild full !root with
+      | exception Reconstruction_failed -> None
+      | () -> (
+        (* The collected node set is connected and has exactly opt + 1
+           nodes (the reconstruction walks at most opt distinct edges and
+           any connected cover needs at least that many), so a spanning
+           tree of it is an optimal Steiner tree. *)
+        match Spanning.spanning_tree ~within:!nodes g with
+        | Some tree_edges -> Some { Tree.nodes = !nodes; edges = tree_edges }
+        | None -> None)
     end
   end
 

@@ -15,6 +15,8 @@ val max_terminals : int
 val solve :
   ?within:Iset.t ->
   ?budget:Runtime.Budget.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
   Ugraph.t ->
   terminals:Iset.t ->
   Tree.t option
@@ -24,7 +26,10 @@ val solve :
     yield the trivial tree. One fuel unit of [budget] is spent per DP
     subset expansion (a settled node in a relax pass or a merge cell);
     exhaustion raises the internal [Runtime.Budget.Exhausted] signal
-    for the runtime boundary to catch. *)
+    for the runtime boundary to catch. [trace] records a
+    ["dreyfus_wagner"] span (terminal count, mask count, table cells);
+    [metrics] fills the [dp.table_size] histogram. A reconstruction
+    inconsistency degrades to [None] rather than crashing. *)
 
 val optimum_nodes :
   ?within:Iset.t ->

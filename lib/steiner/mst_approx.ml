@@ -1,10 +1,13 @@
 open Graphs
 
-let solve g ~terminals =
+let solve ?(trace = Observe.Trace.disabled) g ~terminals =
   if Iset.cardinal terminals <= 1 then
     Some { Tree.nodes = terminals; edges = [] }
   else if not (Traverse.connects g terminals) then None
-  else begin
+  else
+    Observe.Trace.span trace "mst_approx"
+      ~attrs:[ ("terminals", Observe.Trace.Int (Iset.cardinal terminals)) ]
+    @@ fun () ->
     let terms = Array.of_list (Iset.elements terminals) in
     let t = Array.length terms in
     let dists = Array.map (fun s -> Traverse.bfs g s) terms in
@@ -35,19 +38,25 @@ let solve g ~terminals =
         end
       done
     done;
-    (* Expand MST edges into shortest paths and collect the nodes. *)
+    (* Expand MST edges into shortest paths and collect the nodes. The
+       terminals share a component (checked above), so every expansion
+       finds a path; a missing one would mean the graph changed under
+       us, and skipping it degrades to a disconnected node set that the
+       final [of_node_set] rejects with [None] instead of crashing. *)
     let nodes = ref terminals in
     List.iter
       (fun (a, b) ->
         match Traverse.shortest_path g terms.(a) terms.(b) with
         | Some path -> List.iter (fun v -> nodes := Iset.add v !nodes) path
-        | None -> assert false)
+        | None -> ())
       !mst_edges;
     match Tree.of_node_set g !nodes with
-    | None ->
-      (* Union of shortest paths is connected by construction. *)
-      assert false
-    | Some tree ->
+    | None -> None
+    | Some tree -> (
       let pruned = Tree.prune_leaves g ~keep:terminals tree in
-      Tree.of_node_set g pruned.Tree.nodes
-  end
+      match Tree.of_node_set g pruned.Tree.nodes with
+      | Some t ->
+        Observe.Trace.add_attr trace "tree_nodes"
+          (Observe.Trace.Int (Tree.node_count t));
+        Some t
+      | None -> None)

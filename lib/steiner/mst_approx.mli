@@ -9,5 +9,10 @@
 
 open Graphs
 
-val solve : Ugraph.t -> terminals:Iset.t -> Tree.t option
-(** [None] when the terminals do not share a component. *)
+val solve :
+  ?trace:Observe.Trace.t -> Ugraph.t -> terminals:Iset.t -> Tree.t option
+(** [None] when the terminals do not share a component. [trace] records
+    an ["mst_approx"] span with terminal and result-tree node counts.
+    Degenerate inputs (empty or singleton terminal sets, isolated
+    terminal nodes) return the trivial tree or [None]; they never
+    crash. *)

@@ -125,7 +125,10 @@ let solve ?within g ~weight ~terminals =
          tree realises the weighted optimum. *)
       match Spanning.spanning_tree ~within:!nodes g with
       | Some edges -> Some ({ Tree.nodes = !nodes; edges }, !best)
-      | None -> assert false
+      | None ->
+        (* Defensive: the reconstruction yields a connected set, so a
+           spanning tree must exist; degrade instead of crashing. *)
+        None
     end
   end
 

@@ -1,0 +1,149 @@
+(* End-to-end contract of bin/minconn_cli.exe: the documented exit
+   codes (0 solved exact, 2 solved degraded, 3 no cover, 4 input
+   error, 5 budget exhausted under --no-degrade) and the validity of
+   the --trace / --metrics artifacts on every ladder rung. *)
+
+let cli = Filename.concat ".." "bin/minconn_cli.exe"
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fixture name labeled =
+  let path = Printf.sprintf "cli_%s.bigraph" name in
+  write_file path
+    (Mc_io.Parse.bigraph_to_string
+       {
+         Mc_io.Parse.graph = labeled.Datamodel.Figures.graph;
+         left_names = labeled.Datamodel.Figures.left_names;
+         right_names = labeled.Datamodel.Figures.right_names;
+       });
+  path
+
+let run args =
+  let code = Sys.command (cli ^ " " ^ args ^ " > /dev/null 2> /dev/null") in
+  if code = 127 then Alcotest.fail ("CLI not found at " ^ cli);
+  code
+
+(* ------------------------------------------------------ exit codes *)
+
+let test_exit_exact () =
+  let f = fixture "fig3a" Datamodel.Figures.fig3a in
+  check_int "forest instance solves exactly" 0 (run ("solve " ^ f ^ " -t A,C"))
+
+let test_exit_degraded () =
+  let f = fixture "fig2" Datamodel.Figures.fig2 in
+  check_int "fuel 2 degrades but still answers" 2
+    (run ("solve " ^ f ^ " -t A,C --fuel 2"))
+
+let test_exit_no_cover () =
+  write_file "cli_disconnected.bigraph"
+    "bipartite\nleft A B\nright 1 2\nedge A 1\nedge B 2\n";
+  check_int "disconnected terminals" 3
+    (run "solve cli_disconnected.bigraph -t A,B")
+
+let test_exit_input_error () =
+  let f = fixture "fig3a_unknown" Datamodel.Figures.fig3a in
+  check_int "unknown terminal name" 4 (run ("solve " ^ f ^ " -t A,ZZZ"));
+  write_file "cli_garbage.bigraph" "bipartite\nleft A\nedge A mystery\n";
+  check_int "malformed instance" 4 (run "solve cli_garbage.bigraph -t A")
+
+let test_exit_budget_exhausted () =
+  let f = fixture "fig2_nd" Datamodel.Figures.fig2 in
+  check_int "--no-degrade surfaces exhaustion" 5
+    (run ("solve " ^ f ^ " -t A,C --fuel 2 --no-degrade"))
+
+(* --------------------------------------- trace/metrics per rung *)
+
+(* Each scenario drives the ladder to a different rung; the artifacts
+   written by --trace/--metrics must validate and must contain a span
+   for the rung that actually ran. *)
+let rung_scenarios =
+  [
+    ("forest", Datamodel.Figures.fig3a, "A,C", "", "rung:exact-structured", 0);
+    ("alg2", Datamodel.Figures.fig3b, "A,C", "", "rung:exact-structured", 0);
+    ("dp", Datamodel.Figures.fig2, "A,C", "", "rung:exact-dp", 0);
+    ( "degraded",
+      Datamodel.Figures.fig2,
+      "A,C",
+      "--fuel 2",
+      "rung:mst-approx",
+      2 );
+  ]
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_artifacts () =
+  List.iter
+    (fun (tag, labeled, terminals, extra, want_span, want_code) ->
+      let f = fixture ("tr_" ^ tag) labeled in
+      let trace_f = Printf.sprintf "cli_%s.trace.ndjson" tag in
+      let metrics_f = Printf.sprintf "cli_%s.metrics.json" tag in
+      let code =
+        run
+          (Printf.sprintf "solve %s -t %s %s --trace %s --metrics %s" f
+             terminals extra trace_f metrics_f)
+      in
+      check_int (tag ^ ": exit code") want_code code;
+      let trace = read_file trace_f in
+      (match Observe.Export.validate_ndjson_string trace with
+      | Ok n -> check (tag ^ ": trace has spans") true (n > 0)
+      | Error e -> Alcotest.fail (tag ^ ": invalid trace: " ^ e));
+      check (tag ^ ": root solve span present") true (contains trace "\"solve\"");
+      check
+        (tag ^ ": expected rung span " ^ want_span)
+        true
+        (contains trace want_span);
+      match Observe.Export.validate_metrics_string (read_file metrics_f) with
+      | Ok n -> check (tag ^ ": metrics instruments") true (n > 0)
+      | Error e -> Alcotest.fail (tag ^ ": invalid metrics: " ^ e))
+    rung_scenarios
+
+(* The artifacts must be written even when the solve fails, so a
+   budget post-mortem has the spans leading up to the abort. *)
+let test_trace_on_failure () =
+  let f = fixture "tr_fail" Datamodel.Figures.fig2 in
+  let code =
+    run
+      ("solve " ^ f
+     ^ " -t A,C --fuel 2 --no-degrade --trace cli_fail.trace.ndjson \
+        --metrics cli_fail.metrics.json")
+  in
+  check_int "still exits 5" 5 code;
+  (match Observe.Export.validate_ndjson_string (read_file "cli_fail.trace.ndjson") with
+  | Ok n -> check "failure trace non-empty" true (n > 0)
+  | Error e -> Alcotest.fail ("invalid failure trace: " ^ e));
+  check "abandoned rung recorded" true
+    (contains (read_file "cli_fail.trace.ndjson") "rung:exact-dp")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "0 exact" `Quick test_exit_exact;
+          Alcotest.test_case "2 degraded" `Quick test_exit_degraded;
+          Alcotest.test_case "3 no cover" `Quick test_exit_no_cover;
+          Alcotest.test_case "4 input error" `Quick test_exit_input_error;
+          Alcotest.test_case "5 exhausted" `Quick test_exit_budget_exhausted;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "per-rung artifacts" `Quick test_trace_artifacts;
+          Alcotest.test_case "artifacts on failure" `Quick
+            test_trace_on_failure;
+        ] );
+    ]

@@ -147,12 +147,16 @@ let test_er_validation () =
 
 let test_er_connection () =
   let er = Figures.fig1_er in
-  match Er.minimal_connection er ~objects:[ "DEPARTMENT"; "NAME" ] with
-  | Some (nodes, edges) ->
+  (match Er.minimal_connection er ~objects:[ "DEPARTMENT"; "NAME" ] with
+  | Ok (nodes, edges) ->
     check "route through WORKS and EMPLOYEE" true
       (List.mem "WORKS" nodes && List.mem "EMPLOYEE" nodes);
     check_int "tree edge count" (List.length nodes - 1) (List.length edges)
-  | None -> Alcotest.fail "connected ER scheme"
+  | Error _ -> Alcotest.fail "connected ER scheme");
+  match Er.minimal_connection er ~objects:[ "DEPARTMENT"; "nope" ] with
+  | Ok _ -> Alcotest.fail "unknown object must be a typed error"
+  | Error (Runtime.Errors.Invalid_instance _) -> ()
+  | Error _ -> Alcotest.fail "expected Invalid_instance"
 
 (* -------------------------------------------------------- Edge cases *)
 
@@ -294,14 +298,30 @@ let test_layered_structure () =
 
 let test_layered_connection () =
   (match Layered.minimal_connection hierarchy ~objects:[ "a"; "c" ] with
-  | Some (nodes, _) ->
+  | Ok (nodes, _) ->
     check "route through e1 and e2" true
       (List.mem "e1" nodes && List.mem "e2" nodes)
-  | None -> Alcotest.fail "connected");
-  match Layered.minimal_connection hierarchy ~objects:[ "a"; "r1" ] with
-  | Some (nodes, edges) ->
+  | Error _ -> Alcotest.fail "connected");
+  (match Layered.minimal_connection hierarchy ~objects:[ "a"; "r1" ] with
+  | Ok (nodes, edges) ->
     check_int "tree shape" (List.length nodes - 1) (List.length edges)
-  | None -> Alcotest.fail "connected"
+  | Error _ -> Alcotest.fail "connected");
+  match Layered.minimal_connection hierarchy ~objects:[ "a"; "zzz" ] with
+  | Ok _ -> Alcotest.fail "unknown object must be a typed error"
+  | Error (Runtime.Errors.Invalid_instance _) -> ()
+  | Error _ -> Alcotest.fail "expected Invalid_instance"
+
+let test_layered_duplicate_definition () =
+  (* A duplicate definition entry used to bypass validation (only the
+     first assoc match was checked) and crash [to_bigraph]. *)
+  check "duplicate definition rejected" true
+    (try
+       ignore
+         (Layered.make
+            ~levels:[ [ "a" ]; [ "b" ] ]
+            ~definitions:[ ("b", [ "a" ]); ("b", [ "zzz" ]) ]);
+       false
+     with Invalid_argument _ -> true)
 
 let test_er_to_schema () =
   let schema = Er.to_schema Figures.fig1_er in
@@ -560,6 +580,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_layered_validation;
           Alcotest.test_case "structure" `Quick test_layered_structure;
           Alcotest.test_case "connection" `Quick test_layered_connection;
+          Alcotest.test_case "duplicate definition" `Quick
+            test_layered_duplicate_definition;
         ] );
       ( "interface",
         [

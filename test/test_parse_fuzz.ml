@@ -142,6 +142,54 @@ let suite =
       ~gen_text:random_database_text Mc_io.Parse.database_of_string;
     fuzz_prop ~name:"query_of_string never throws"
       ~gen_text:random_query_text Mc_io.Parse.query_of_string;
+    (* Constructors behind the parse boundary: arbitrary (often invalid)
+       descriptions must surface as [Invalid_argument], never as an
+       assertion failure or a crash in the derived graph builders. *)
+    QCheck2.Test.make ~count:400
+      ~name:"datamodel constructors never leak assertions" seed_gen
+      (fun seed ->
+        let rng = Workloads.Rng.make ~seed in
+        let name k = Printf.sprintf "o%d" (Workloads.Rng.int rng k) in
+        let names k n = List.init n (fun _ -> name k) in
+        let layered_ok =
+          let levels =
+            List.init
+              (1 + Workloads.Rng.int rng 3)
+              (fun _ -> names 8 (1 + Workloads.Rng.int rng 3))
+          in
+          let definitions =
+            List.init (Workloads.Rng.int rng 4) (fun _ ->
+                (name 8, names 10 (Workloads.Rng.int rng 3)))
+          in
+          match Datamodel.Layered.make ~levels ~definitions with
+          | t ->
+            (* A constructor that accepts must also build the graph. *)
+            (try
+               ignore (Datamodel.Layered.to_bigraph t);
+               true
+             with _ -> false)
+          | exception Invalid_argument _ -> true
+          | exception _ -> false
+        in
+        let er_ok =
+          let entities =
+            List.init (Workloads.Rng.int rng 3) (fun _ ->
+                (name 6, names 6 (Workloads.Rng.int rng 3)))
+          in
+          let relationships =
+            List.init (Workloads.Rng.int rng 3) (fun _ ->
+                (name 6, names 6 (Workloads.Rng.int rng 2), names 6 1))
+          in
+          match Datamodel.Er.make ~entities ~relationships with
+          | t -> (
+            try
+              ignore (Datamodel.Er.to_ugraph t);
+              true
+            with _ -> false)
+          | exception Invalid_argument _ -> true
+          | exception _ -> false
+        in
+        layered_ok && er_ok);
   ]
 
 let () =

@@ -412,6 +412,34 @@ let test_weighted_zero_costs () =
 
 let qcheck_cases' = [ forest_qcheck ]
 
+(* Regressions for the former assert-false panics: degenerate terminal
+   sets must degrade to trivial trees or [None], never crash. *)
+let test_degenerate_terminals () =
+  let g = Ugraph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (1, 4) ] in
+  (* Node 5 is isolated. *)
+  (match Mst_approx.solve g ~terminals:Iset.empty with
+  | Some t -> Alcotest.(check int) "empty set: empty tree" 0 (Tree.node_count t)
+  | None -> Alcotest.fail "empty terminal set is trivially solvable");
+  (match Mst_approx.solve g ~terminals:(Iset.singleton 5) with
+  | Some t -> Alcotest.(check int) "single isolated terminal" 1 (Tree.node_count t)
+  | None -> Alcotest.fail "single terminal is trivially solvable");
+  (match Mst_approx.solve g ~terminals:(Iset.of_list [ 0; 5 ]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "isolated terminal is disconnected");
+  (match Dreyfus_wagner.solve g ~terminals:(Iset.singleton 5) with
+  | Some t -> Alcotest.(check int) "DW single terminal" 1 (Tree.node_count t)
+  | None -> Alcotest.fail "single terminal is trivially solvable");
+  (match Dreyfus_wagner.solve g ~terminals:(Iset.of_list [ 0; 5 ]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "DW isolated terminal is disconnected");
+  (* Isolated terminal inside a restricted universe. *)
+  match
+    Dreyfus_wagner.solve ~within:(Iset.of_list [ 0; 1; 5 ]) g
+      ~terminals:(Iset.of_list [ 0; 5 ])
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "DW within: disconnected"
+
 let qcheck_cases =
   qcheck_cases'
   @
@@ -561,6 +589,27 @@ let qcheck_cases =
         in
         let red = Reductions.theorem2 inst in
         X3c.solve inst <> None = Reductions.steiner_within_budget red);
+    QCheck2.Test.make ~count:300
+      ~name:"solvers never raise on arbitrary terminal sets"
+      QCheck2.Gen.(tup3 (int_range 2 10) (int_range 0 100000) (int_range 0 4))
+      (fun (n, seed, k) ->
+        (* Possibly-disconnected graph with isolated nodes: drop a
+           random prefix of edges from a random connected graph. *)
+        let rng = rng_of seed in
+        let full = Workloads.Gen_graph.random_connected rng ~n ~extra_edges:1 in
+        let keep = Workloads.Rng.int rng (List.length (Ugraph.edges full) + 1) in
+        let g =
+          Ugraph.of_edges ~n (List.filteri (fun i _ -> i < keep) (Ugraph.edges full))
+        in
+        let terminals =
+          Iset.of_list (Workloads.Rng.sample rng k (Iset.elements (Ugraph.nodes g)))
+        in
+        let no_raise f =
+          match f () with _ -> true | exception _ -> false
+        in
+        no_raise (fun () -> Mst_approx.solve g ~terminals)
+        && no_raise (fun () -> Dreyfus_wagner.solve g ~terminals)
+        && no_raise (fun () -> Algorithm2.solve g ~p:terminals));
   ]
 
 let () =
@@ -589,7 +638,12 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_alg1_disconnected;
           Alcotest.test_case "wrt V1" `Quick test_alg1_wrt_v1;
         ] );
-      ("mst-approx", [ Alcotest.test_case "bounds" `Quick test_mst_approx ]);
+      ( "mst-approx",
+        [
+          Alcotest.test_case "bounds" `Quick test_mst_approx;
+          Alcotest.test_case "degenerate terminals" `Quick
+            test_degenerate_terminals;
+        ] );
       ("x3c", [ Alcotest.test_case "solver" `Quick test_x3c_solver ]);
       ( "forest",
         [ Alcotest.test_case "unique connection" `Quick test_forest_solver ] );
