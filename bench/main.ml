@@ -1167,12 +1167,102 @@ let observe_section ~trials ~max_n ~json_path () =
   write_bench_json ~section:"observe" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
+(* Section: engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile-once amortization: a batch of terminal-set queries over one
+   schema, answered (a) by the one-shot [Minconn.solve] (which repays
+   classification and ordering construction on every call), (b) by an
+   [Engine.Session] over a schema compiled before the timed region.
+   Compile cost is its own row, so BENCH_engine.json separates the
+   price paid once from the per-query cost it buys down. The headline
+   check: session ns/query strictly below one-shot ns/query on every
+   workload. *)
+let engine_section ~trials ~max_n ~json_path () =
+  header "engine: one-shot solve vs compile-once session (ms per query)";
+  Printf.printf "%-12s %-10s %6s %8s %8s %12s\n" "section" "impl" "|V|" "|E|"
+    "queries" "mean ms";
+  let rows = ref [] in
+  let ratios = ref [] in
+  let batch ~section g =
+    let u = Bigraph.ugraph g in
+    let queries =
+      List.init 16 (fun k ->
+          Workloads.Gen_bipartite.random_terminals
+            (trial ~section:(section ^ "-terminals") k)
+            g ~k:4)
+      |> List.filter (fun p ->
+             Iset.cardinal p >= 2 && Traverse.connects u p)
+    in
+    let nq = List.length queries in
+    if nq = 0 then ()
+    else begin
+      let n = Bigraph.n g and m = Bigraph.m g in
+      let row impl ~per_query ms =
+        let per = if per_query then ms /. float_of_int nq else ms in
+        Printf.printf "%-12s %-10s %6d %8d %8d %12.4f\n%!" section impl n m nq
+          per;
+        let name, ns, extras = timed_entry ~section ~impl ~n ~m ~ms:per in
+        rows :=
+          !rows
+          @ [ (name, ns, extras @ [ ("queries", Observe.Json.Jnum (float_of_int nq)) ]) ];
+        per
+      in
+      let t_compile =
+        time_mean ~trials (fun () -> Minconn.Compiled.compile g)
+      in
+      ignore (row "compile" ~per_query:false t_compile);
+      let compiled = Minconn.Compiled.compile g in
+      let session = Minconn.Session.create compiled in
+      let t_session =
+        row "session" ~per_query:true
+          (time_mean ~trials (fun () ->
+               List.iter
+                 (fun p -> ignore (Minconn.Session.query session ~p))
+                 queries))
+      in
+      let t_oneshot =
+        row "oneshot" ~per_query:true
+          (time_mean ~trials (fun () ->
+               List.iter (fun p -> ignore (Minconn.solve g ~p)) queries))
+      in
+      ratios :=
+        (Printf.sprintf "%s n=%d" section n, t_session, t_oneshot) :: !ratios
+    end
+  in
+  let sizes l = List.filter (fun x -> x <= max_n) l in
+  (* n_right 80 is the ceiling: the one-shot comparator re-runs the
+     full classification per query (~2.5 s at n=293), so larger tiers
+     would dominate the whole bench run for no extra signal. *)
+  List.iter
+    (fun n_right ->
+      let rng = trial ~section:"engine-62" n_right in
+      batch ~section:"chordal62"
+        (Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:5))
+    (sizes [ 20; 40; 80 ]);
+  List.iter
+    (fun nsz ->
+      let rng = trial ~section:"engine-gnp" nsz in
+      batch ~section:"gnp"
+        (Workloads.Gen_bipartite.gnp rng ~nl:nsz ~nr:nsz ~p:0.3))
+    (sizes [ 16; 32; 64 ]);
+  List.iter
+    (fun (what, t_session, t_oneshot) ->
+      Printf.printf
+        "-- %-16s session/oneshot per query = %.4f (must be < 1)%s\n" what
+        (if t_oneshot > 0.0 then t_session /. t_oneshot else 1.0)
+        (if t_session < t_oneshot then "" else "  NOT AMORTIZED"))
+    (List.rev !ratios);
+  write_bench_json ~section:"engine" ~trials ~max_n ~path:json_path !rows
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let trials = ref 5 and max_n = ref 384 in
   let json_path = ref "BENCH_kernels.json" in
   let runtime_json_path = ref "BENCH_runtime.json" in
   let observe_json_path = ref "BENCH_observe.json" in
+  let engine_json_path = ref "BENCH_engine.json" in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--trials" :: v :: rest ->
@@ -1189,6 +1279,9 @@ let () =
       parse_args acc rest
     | "--observe-json" :: v :: rest ->
       observe_json_path := v;
+      parse_args acc rest
+    | "--engine-json" :: v :: rest ->
+      engine_json_path := v;
       parse_args acc rest
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -1231,6 +1324,10 @@ let () =
         fun () ->
           observe_section ~trials:!trials ~max_n:!max_n
             ~json_path:!observe_json_path () );
+      ( "engine",
+        fun () ->
+          engine_section ~trials:!trials ~max_n:!max_n
+            ~json_path:!engine_json_path () );
     ]
   in
   let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in

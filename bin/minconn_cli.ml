@@ -76,8 +76,77 @@ let report_provenance prov =
     (E.rung_name prov.D.ran)
     (D.guarantee_name prov.D.guarantee)
 
+let method_name = function
+  | Minconn.Used_forest -> "forest paths (exact and unique)"
+  | Minconn.Used_algorithm2 -> "Algorithm 2 (exact, Theorem 5)"
+  | Minconn.Used_exact_dp -> "Dreyfus-Wagner (exact)"
+  | Minconn.Used_elimination -> "nonredundant elimination (heuristic)"
+  | Minconn.Used_mst_approx -> "MST approximation (ratio <= 2)"
+
+(* One query per non-empty, non-comment line; names separated by commas
+   and/or whitespace. *)
+let parse_queries_file path =
+  let split line =
+    String.split_on_char ' '
+      (String.map (function ',' | '\t' -> ' ' | c -> c) line)
+    |> List.filter (fun s -> s <> "")
+  in
+  read_file path |> String.split_on_char '\n'
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map split
+
+(* Batch mode: compile the schema once, answer every terminal set from
+   the session, report one status line per query, and exit with the
+   most severe per-query code (the codes are ordered 0 < 2 < 3 < 4 < 5
+   by severity, so a numeric max is the contract). *)
+let run_batch nb ~queries ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
+    ~flush_observability =
+  let compiled = Minconn.Compiled.compile ~trace ~metrics nb.Mc_io.Parse.graph in
+  let session =
+    Minconn.Session.create ~degrade:(not no_degrade) ~trace ~metrics compiled
+  in
+  let worst = ref 0 in
+  List.iteri
+    (fun i names ->
+      let idx = i + 1 in
+      Printf.printf "-- query %d: %s --\n" idx (String.concat ", " names);
+      let code =
+        match Mc_io.Parse.name_set nb names with
+        | Error n ->
+          Printf.printf "error: unknown terminal %s\n" n;
+          exit_input_error
+        | Ok p -> (
+          (* A fresh budget per query: one slow query degrades itself,
+             not the rest of the batch. *)
+          let budget =
+            match (timeout_ms, fuel) with
+            | None, None -> Minconn.Budget.unlimited
+            | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
+          in
+          match Minconn.Session.query ~budget session ~p with
+          | Error e ->
+            Printf.printf "error: %s\n" (Minconn.Errors.to_string e);
+            Minconn.Errors.exit_code e
+          | Ok s ->
+            Printf.printf "method: %s\n" (method_name s.Minconn.method_used);
+            print_tree nb s.Minconn.tree;
+            if Minconn.Degrade.degraded s.Minconn.provenance then begin
+              report_provenance s.Minconn.provenance;
+              2
+            end
+            else 0)
+      in
+      Printf.printf "minconn: query=%d code=%d\n" idx code;
+      if code > !worst then worst := code)
+    queries;
+  Printf.printf "minconn: queries=%d exit=%d\n" (List.length queries) !worst;
+  flush_observability ();
+  exit !worst
+
 let solve_cmd =
-  let run path terminals timeout_ms fuel no_degrade trace_file metrics_file =
+  let run path terminals queries_file timeout_ms fuel no_degrade trace_file
+      metrics_file =
     let trace =
       match trace_file with
       | None -> Observe.Trace.disabled
@@ -103,49 +172,64 @@ let solve_cmd =
       exit code
     in
     let nb = or_die (load_bigraph path) in
-    let p =
-      match Mc_io.Parse.name_set nb terminals with
-      | Ok p -> p
-      | Error n ->
-        Printf.eprintf "minconn: error=unknown-terminal name=%s\n" n;
-        die exit_input_error
-    in
-    let budget =
-      match (timeout_ms, fuel) with
-      | None, None -> Minconn.Budget.unlimited
-      | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
-    in
-    match
-      Minconn.solve ~budget ~degrade:(not no_degrade) ~trace ~metrics
-        nb.Mc_io.Parse.graph ~p
-    with
-    | Error e ->
-      Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
-      die (Minconn.Errors.exit_code e)
-    | Ok s ->
-      let how =
-        match s.Minconn.method_used with
-        | Minconn.Used_forest -> "forest paths (exact and unique)"
-        | Minconn.Used_algorithm2 -> "Algorithm 2 (exact, Theorem 5)"
-        | Minconn.Used_exact_dp -> "Dreyfus-Wagner (exact)"
-        | Minconn.Used_elimination -> "nonredundant elimination (heuristic)"
-        | Minconn.Used_mst_approx -> "MST approximation (ratio <= 2)"
+    match (terminals, queries_file) with
+    | [], None ->
+      prerr_endline "minconn: error=missing-terminals (use -t or --queries)";
+      die exit_input_error
+    | _ :: _, Some _ ->
+      prerr_endline "minconn: error=conflicting-options (-t and --queries)";
+      die exit_input_error
+    | [], Some qpath ->
+      run_batch nb
+        ~queries:(parse_queries_file qpath)
+        ~timeout_ms ~fuel ~no_degrade ~trace ~metrics ~flush_observability
+    | _ :: _, None -> (
+      let p =
+        match Mc_io.Parse.name_set nb terminals with
+        | Ok p -> p
+        | Error n ->
+          Printf.eprintf "minconn: error=unknown-terminal name=%s\n" n;
+          die exit_input_error
       in
-      Printf.printf "method: %s\n" how;
-      print_tree nb s.Minconn.tree;
-      let degraded = Minconn.Degrade.degraded s.Minconn.provenance in
-      flush_observability ();
-      if degraded then begin
-        report_provenance s.Minconn.provenance;
-        exit 2
-      end
+      let budget =
+        match (timeout_ms, fuel) with
+        | None, None -> Minconn.Budget.unlimited
+        | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
+      in
+      match
+        Minconn.solve ~budget ~degrade:(not no_degrade) ~trace ~metrics
+          nb.Mc_io.Parse.graph ~p
+      with
+      | Error e ->
+        Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
+        die (Minconn.Errors.exit_code e)
+      | Ok s ->
+        Printf.printf "method: %s\n" (method_name s.Minconn.method_used);
+        print_tree nb s.Minconn.tree;
+        let degraded = Minconn.Degrade.degraded s.Minconn.provenance in
+        flush_observability ();
+        if degraded then begin
+          report_provenance s.Minconn.provenance;
+          exit 2
+        end)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let terminals =
     Arg.(
-      non_empty & opt (list string) []
+      value & opt (list string) []
       & info [ "t"; "terminals" ] ~docv:"NAMES"
-          ~doc:"Comma-separated object names to connect")
+          ~doc:"Comma-separated object names to connect (exactly one of \
+                $(opt) and --queries is required)")
+  in
+  let queries_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:"Batch mode: compile the graph once and answer one query \
+                per line of $(docv) (names separated by commas or \
+                spaces; blank lines and # comments skipped). Prints a \
+                per-query status line and exits with the most severe \
+                per-query code.")
   in
   let timeout_ms =
     Arg.(
@@ -186,10 +270,11 @@ let solve_cmd =
        ~doc:
          "Find a minimal connection over the terminals. Exit codes: 0 \
           solved exactly, 2 solved degraded, 3 no cover, 4 input error, \
-          5 budget exhausted with --no-degrade.")
+          5 budget exhausted with --no-degrade. With --queries, the \
+          exit code is the most severe per-query code.")
     Term.(
-      const run $ path $ terminals $ timeout_ms $ fuel $ no_degrade
-      $ trace_file $ metrics_file)
+      const run $ path $ terminals $ queries_file $ timeout_ms $ fuel
+      $ no_degrade $ trace_file $ metrics_file)
 
 let relations_cmd =
   let run path terminals =
@@ -201,18 +286,15 @@ let relations_cmd =
         prerr_endline ("unknown terminal: " ^ n);
         exit exit_input_error
     in
-    match Algorithm1.solve nb.Mc_io.Parse.graph ~p with
+    (* The typed front door validates empty/out-of-range/disconnected
+       terminal sets exactly like `solve` does. *)
+    match Minconn.solve_min_relations nb.Mc_io.Parse.graph ~p with
     | Ok r ->
       Printf.printf "minimum relation count: %d\n" r.Algorithm1.v2_count;
       print_tree nb r.Algorithm1.tree
-    | Error Algorithm1.Disconnected_terminals ->
-      prerr_endline "terminals are not connected";
-      exit (Minconn.Errors.exit_code Minconn.Errors.Disconnected_terminals)
-    | Error Algorithm1.Not_alpha_acyclic ->
-      prerr_endline
-        "scheme is not alpha-acyclic (V2-chordal V2-conformal): Algorithm 1 \
-         does not apply";
-      exit exit_input_error
+    | Error e ->
+      Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
+      exit (Minconn.Errors.exit_code e)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let terminals =

@@ -34,15 +34,17 @@ module Figures = Datamodel.Figures
 module Budget = Runtime.Budget
 module Degrade = Runtime.Degrade
 module Errors = Runtime.Errors
+module Compiled = Engine.Compiled
+module Session = Engine.Session
 
-type method_used =
+type method_used = Engine.Session.method_used =
   | Used_forest
   | Used_algorithm2
   | Used_exact_dp
   | Used_elimination
   | Used_mst_approx
 
-type solution = {
+type solution = Engine.Session.solution = {
   tree : Tree.t;
   method_used : method_used;
   optimal : bool;
@@ -50,18 +52,8 @@ type solution = {
   provenance : Degrade.provenance;
 }
 
-(* One rung of the degradation ladder: identity for provenance, the
-   method tag and guarantee reported on success, and the solver thunk
-   (the only place the internal Budget.Exhausted signal can arise). *)
-type rung_spec = {
-  rung : Errors.rung;
-  meth : method_used;
-  guarantee : Degrade.guarantee;
-  run : unit -> Tree.t option;
-}
-
-(* The cheap connectivity rejection runs before the classifier, and the
-   profile is computed exactly once and reused by every rung. *)
+(* The cheap validation runs before the classifier; the compile+query
+   split is Engine's, this is the one-shot convenience wrapper. *)
 let solve ?(budget = Budget.unlimited) ?(degrade = true)
     ?(trace = Observe.Trace.disabled) ?(metrics = Observe.Metrics.disabled) g
     ~p =
@@ -78,155 +70,32 @@ let solve ?(budget = Budget.unlimited) ?(degrade = true)
           ("nodes", Observe.Trace.Int (Ugraph.n u));
         ]
     @@ fun () ->
-    let profile = Classify.profile ~trace g in
-    let mst_rung =
-      {
-        rung = Errors.Mst;
-        meth = Used_mst_approx;
-        guarantee = Degrade.Ratio 2.0;
-        run = (fun () -> Mst_approx.solve ~trace u ~terminals:p);
-      }
-    in
-    let fixpoint_rung =
-      {
-        rung = Errors.Fixpoint;
-        meth = Used_elimination;
-        guarantee = Degrade.Heuristic;
-        run = (fun () -> Algorithm2.solve ~budget ~trace ~metrics u ~p);
-      }
-    in
-    let pre_attempts, ladder =
-      if profile.Classify.chordal_41 then
-        ( [],
-          [
-            {
-              rung = Errors.Exact_structured;
-              meth = Used_forest;
-              guarantee = Degrade.Exact;
-              run = (fun () -> Steiner.Forest_steiner.solve u ~terminals:p);
-            };
-            mst_rung;
-          ] )
-      else if profile.Classify.chordal_62 then
-        (* Algorithm 2 is exact here (Theorem 5); its elimination
-           fixpoint is what the budget meters, and on exhaustion the
-           only rung left is the approximation. *)
-        ( [],
-          [
-            {
-              rung = Errors.Exact_structured;
-              meth = Used_algorithm2;
-              guarantee = Degrade.Exact;
-              run = (fun () -> Algorithm2.solve ~budget ~trace ~metrics u ~p);
-            };
-            mst_rung;
-          ] )
-      else if Iset.cardinal p <= Dreyfus_wagner.max_terminals then
-        ( [],
-          [
-            {
-              rung = Errors.Exact_dp;
-              meth = Used_exact_dp;
-              guarantee = Degrade.Exact;
-              run =
-                (fun () ->
-                  Dreyfus_wagner.solve ~budget ~trace ~metrics u ~terminals:p);
-            };
-            fixpoint_rung;
-            mst_rung;
-          ] )
-      else
-        (* The exact DP was never attempted: say so in the provenance
-           instead of silently reporting [optimal = false]. *)
-        ( [
-            {
-              Degrade.rung = Errors.Exact_dp;
-              why = Degrade.Terminals_over_cap;
-            };
-          ],
-          [ fixpoint_rung; mst_rung ] )
-    in
-    let abandonments = Observe.Metrics.counter metrics "rung.abandonments" in
-    let budget_checks = Observe.Metrics.counter metrics "budget.checks" in
-    (* One span per attempted rung: outcome, abandonment reason, and the
-       number of cooperative budget checks the rung consumed (a delta of
-       [Budget.spent], so the hot path gains no new counter). *)
-    let run_rung spec =
-      Observe.Trace.span trace ("rung:" ^ Errors.rung_name spec.rung)
-      @@ fun () ->
-      let checks0 = Budget.spent budget in
-      let outcome =
-        match spec.run () with
-        | Some tree -> `Ran tree
-        | None -> `Abandoned Degrade.Out_of_class
-        | exception Budget.Exhausted stop ->
-          `Exhausted (stop, Degrade.reason_of_stop stop)
-      in
-      Observe.Metrics.incr ~by:(Budget.spent budget - checks0) budget_checks;
-      Observe.Trace.add_attr trace "budget_checks"
-        (Observe.Trace.Int (Budget.spent budget - checks0));
-      (match outcome with
-      | `Ran tree ->
-        Observe.Trace.add_attr trace "outcome" (Observe.Trace.Str "ran");
-        Observe.Trace.add_attr trace "tree_nodes"
-          (Observe.Trace.Int (Tree.node_count tree))
-      | `Abandoned why | `Exhausted (_, why) ->
-        Observe.Metrics.incr abandonments;
-        Observe.Trace.add_attr trace "outcome" (Observe.Trace.Str "abandoned");
-        Observe.Trace.add_attr trace "reason"
-          (Observe.Trace.Str (Degrade.reason_name why)));
-      outcome
-    in
-    let rec descend attempts = function
-      | [] ->
-        (* Unreachable with a connected [p]: the MST rung is
-           un-budgeted and total. Report the last abandoned rung. *)
-        Error
-          (Errors.Budget_exhausted
-             (match attempts with
-             | { Degrade.rung; _ } :: _ -> rung
-             | [] -> Errors.Mst))
-      | spec :: rest -> (
-        match run_rung spec with
-        | `Ran tree ->
-          let provenance =
-            {
-              Degrade.ran = spec.rung;
-              attempts = List.rev attempts;
-              guarantee = spec.guarantee;
-            }
-          in
-          Degrade.trace_ran trace provenance;
-          if Observe.Trace.active trace then
-            Observe.Trace.span trace "verify" (fun () ->
-                Observe.Trace.add_attr trace "covers_terminals"
-                  (Observe.Trace.Bool (Tree.verify u ~terminals:p tree)));
-          Ok
-            {
-              tree;
-              method_used = spec.meth;
-              optimal = spec.guarantee = Degrade.Exact;
-              profile;
-              provenance;
-            }
-        | `Abandoned why ->
-          let attempt = { Degrade.rung = spec.rung; why } in
-          Degrade.trace_abandon trace attempt;
-          descend (attempt :: attempts) rest
-        | `Exhausted (_, why) ->
-          let attempt = { Degrade.rung = spec.rung; why } in
-          Degrade.trace_abandon trace attempt;
-          if degrade then descend (attempt :: attempts) rest
-          else Error (Errors.Budget_exhausted spec.rung))
-    in
-    List.iter (Degrade.trace_abandon trace) pre_attempts;
-    descend (List.rev pre_attempts) ladder
+    let compiled = Compiled.compile ~trace ~metrics g in
+    let session = Session.create ~budget ~degrade ~trace ~metrics compiled in
+    Session.query session ~p
   end
 
 let solve_steiner ?budget g ~p =
   match solve ?budget g ~p with Ok s -> Some s | Error _ -> None
 
-let solve_min_relations g ~p = Algorithm1.solve g ~p
+(* Same typed front door as [solve]: reject empty / out-of-range /
+   disconnected terminal sets before Algorithm 1 runs, and surface its
+   structural rejection as a typed error instead of a private variant. *)
+let solve_min_relations g ~p =
+  let u = Bigraph.ugraph g in
+  if Iset.is_empty p then Error (Errors.Invalid_instance "empty terminal set")
+  else if not (Iset.subset p (Ugraph.nodes u)) then
+    Error (Errors.Invalid_instance "terminal index out of range")
+  else if not (Traverse.connects u p) then Error Errors.Disconnected_terminals
+  else
+    match Algorithm1.solve g ~p with
+    | Ok r -> Ok r
+    | Error Algorithm1.Disconnected_terminals ->
+      Error Errors.Disconnected_terminals
+    | Error Algorithm1.Not_alpha_acyclic ->
+      Error
+        (Errors.Invalid_instance
+           "scheme is not alpha-acyclic (V2-chordal V2-conformal)")
 
 let report g =
   let profile = Classify.profile g in

@@ -45,17 +45,28 @@ module Budget = Runtime.Budget
 module Degrade = Runtime.Degrade
 module Errors = Runtime.Errors
 
+module Compiled = Engine.Compiled
+(** One-time schema compilation: CSR arena, classification profile,
+    components and elimination orderings, computed once and shared by
+    any number of queries. *)
+
+module Session = Engine.Session
+(** Compile-once / query-many serving: [Session.query] and
+    [Session.solve_many] answer terminal-set queries against a
+    {!Compiled.t}, reusing per-session scratch buffers. {!solve} below
+    is the one-shot compile-then-query wrapper. *)
+
 (** {1 One-call solving} *)
 
 (** Which solver produced a result and with what guarantee. *)
-type method_used =
+type method_used = Engine.Session.method_used =
   | Used_forest  (** exact and unique: graph is (4,1)-chordal *)
   | Used_algorithm2  (** exact: graph is (6,2)-chordal (Theorem 5) *)
   | Used_exact_dp  (** exact: Dreyfus–Wagner *)
   | Used_elimination  (** heuristic nonredundant cover (no guarantee) *)
   | Used_mst_approx  (** metric-closure MST 2-approximation *)
 
-type solution = {
+type solution = Engine.Session.solution = {
   tree : Tree.t;
   method_used : method_used;
   optimal : bool;  (** [provenance.guarantee = Exact] *)
@@ -74,9 +85,10 @@ val solve :
   Bigraph.t ->
   p:Iset.t ->
   (solution, Errors.t) result
-(** The resource-governed runtime boundary. Classifies once, picks the
-    best rung the classification licenses, and — when [budget] runs out
-    mid-solve — descends the degradation ladder
+(** The resource-governed runtime boundary: one-shot
+    compile-then-query. Classifies once, picks the best rung the
+    classification licenses, and — when [budget] runs out mid-solve —
+    descends the degradation ladder
 
     {v exact (structured or DP)  ->  fixpoint elimination  ->  MST 2-approx v}
 
@@ -85,16 +97,21 @@ val solve :
     the profile is computed exactly once. With [~degrade:false] the
     first exhausted rung is reported as [Error (Budget_exhausted _)]
     instead of falling through. The internal [Budget.Exhausted] signal
-    never escapes this function.
+    never escapes this function. Answering many terminal sets over one
+    scheme? {!Compiled.compile} once and use {!Session.query} /
+    {!Session.solve_many} — this wrapper repays the compilation on
+    every call.
 
-    [trace] (default disabled) records a ["solve"] root span with the
-    classifier's child spans, one ["rung:<name>"] span per attempted
-    rung (outcome, abandonment reason, budget-check delta), structured
-    ["ladder.abandon"]/["ladder.ran"] events mirroring the returned
-    provenance, and — only when tracing is on — a ["verify"] span that
-    re-checks the returned tree against the terminals. [metrics]
-    (default disabled) accumulates [budget.checks] and
-    [rung.abandonments] counters plus the solver histograms
+    [trace] (default disabled) records a ["solve"] root span containing
+    a ["compile"] span (classifier child spans, component/ordering
+    construction) and a ["query"] span with one ["rung:<name>"] span
+    per attempted rung (outcome, abandonment reason, budget-check
+    delta), structured ["ladder.abandon"]/["ladder.ran"] events
+    mirroring the returned provenance, and — only when tracing is on —
+    a ["verify"] span that re-checks the returned tree against the
+    terminals. [metrics] (default disabled) accumulates
+    [budget.checks], [rung.abandonments], [engine.compiles] and
+    [engine.queries] counters plus the solver histograms
     ([elimination.steps_per_solve], [dp.table_size]). Both default to
     shared inert instances whose cost at every instrumentation site is
     one load and one branch. *)
@@ -107,8 +124,13 @@ val solve_steiner :
     budget runs out. [None] if [p] is disconnected. *)
 
 val solve_min_relations :
-  Bigraph.t -> p:Iset.t -> (Algorithm1.result, Algorithm1.error) result
-(** Algorithm 1 (pseudo-Steiner w.r.t. V₂). *)
+  Bigraph.t -> p:Iset.t -> (Algorithm1.result, Errors.t) result
+(** Algorithm 1 (pseudo-Steiner w.r.t. V₂) behind the same typed
+    validation as {!solve}: empty or out-of-range terminal sets are
+    [Invalid_instance], disconnected ones [Disconnected_terminals], and
+    a non-α-acyclic terminal component is reported as
+    [Invalid_instance] rather than a solver-private variant. Sessions
+    expose the amortized equivalent as {!Session.query_relations}. *)
 
 val report : Bigraph.t -> string
 (** Human-readable classification + recommendation, used by the CLI. *)

@@ -7,7 +7,46 @@ type t = {
   defs : (string * string list) list;
   left : string array;  (* even levels, in level order *)
   right : string array;  (* odd levels *)
+  compiled : Engine.Compiled.t Lazy.t;
+      (* bigraph + classification, built at most once per hierarchy *)
 }
+
+let position arr name =
+  let rec go i =
+    if i >= Array.length arr then None
+    else if arr.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let build_bigraph ~left ~right defs =
+  let edges =
+    List.concat_map
+      (fun (n, parts) ->
+        List.map
+          (fun p ->
+            (* One endpoint is on an even level, the other on the
+               adjacent odd level. *)
+            (* Unreachable through [make], which validates every
+               definition entry (including duplicates) against the
+               level structure. *)
+            let bad who =
+              invalid_arg ("Layered.to_bigraph: unknown object: " ^ who)
+            in
+            match (position left n, position right n) with
+            | Some i, _ -> (
+              match position right p with
+              | Some j -> (i, j)
+              | None -> bad p)
+            | None, Some j -> (
+              match position left p with
+              | Some i -> (i, j)
+              | None -> bad p)
+            | None, None -> bad n)
+          parts)
+      defs
+  in
+  Bigraph.of_edges ~nl:(Array.length left) ~nr:(Array.length right) edges
 
 let make ~levels ~definitions =
   let all = List.concat levels in
@@ -55,16 +94,20 @@ let make ~levels ~definitions =
       | None -> invalid_arg ("Layered.make: definition for unknown object " ^ n))
     definitions;
   let left =
-    List.concat (List.filteri (fun l _ -> l mod 2 = 0) levels)
+    Array.of_list
+      (List.concat (List.filteri (fun l _ -> l mod 2 = 0) levels))
   in
   let right =
-    List.concat (List.filteri (fun l _ -> l mod 2 = 1) levels)
+    Array.of_list
+      (List.concat (List.filteri (fun l _ -> l mod 2 = 1) levels))
   in
   {
     level_names = levels;
     defs = definitions;
-    left = Array.of_list left;
-    right = Array.of_list right;
+    left;
+    right;
+    compiled =
+      lazy (Engine.Compiled.compile (build_bigraph ~left ~right definitions));
   }
 
 let n_levels t = List.length t.level_names
@@ -77,42 +120,8 @@ let level_of t name =
   in
   go 0 t.level_names
 
-let position arr name =
-  let rec go i =
-    if i >= Array.length arr then None
-    else if arr.(i) = name then Some i
-    else go (i + 1)
-  in
-  go 0
-
-let to_bigraph t =
-  let edges =
-    List.concat_map
-      (fun (n, parts) ->
-        List.map
-          (fun p ->
-            (* One endpoint is on an even level, the other on the
-               adjacent odd level. *)
-            (* Unreachable through [make], which validates every
-               definition entry (including duplicates) against the
-               level structure. *)
-            let bad who =
-              invalid_arg ("Layered.to_bigraph: unknown object: " ^ who)
-            in
-            match (position t.left n, position t.right n) with
-            | Some i, _ -> (
-              match position t.right p with
-              | Some j -> (i, j)
-              | None -> bad p)
-            | None, Some j -> (
-              match position t.left p with
-              | Some i -> (i, j)
-              | None -> bad p)
-            | None, None -> bad n)
-          parts)
-      t.defs
-  in
-  Bigraph.of_edges ~nl:(Array.length t.left) ~nr:(Array.length t.right) edges
+let compiled t = Lazy.force t.compiled
+let to_bigraph t = Engine.Compiled.graph (compiled t)
 
 let object_index t name =
   match position t.left name with
@@ -128,7 +137,7 @@ let object_name t v =
   else if v >= nl && v < nl + Array.length t.right then t.right.(v - nl)
   else invalid_arg "Layered.object_name: out of range"
 
-let profile t = Classify.profile (to_bigraph t)
+let profile t = Engine.Compiled.profile (compiled t)
 
 (* Distinguish an unknown name (a typed instance error) from a
    disconnected query: the two used to collapse into [None]. *)
@@ -152,7 +161,7 @@ let minimal_connection t ~objects =
            (Printf.sprintf "more than %d distinct objects"
               Dreyfus_wagner.max_terminals))
     else
-      let g = Bigraph.ugraph (to_bigraph t) in
+      let g = Engine.Compiled.ugraph (compiled t) in
       (match Dreyfus_wagner.solve g ~terminals:p with
       | None -> Error Runtime.Errors.Disconnected_terminals
       | Some tree ->
@@ -166,7 +175,7 @@ let interpretations ?(k = 3) t ~objects =
   match resolve t objects with
   | Error _ -> []
   | Ok p ->
-    let g = Bigraph.ugraph (to_bigraph t) in
+    let g = Engine.Compiled.ugraph (compiled t) in
     Kbest.enumerate ~max_trees:k g ~terminals:p
     |> List.map (fun tree ->
            List.map (object_name t) (Iset.elements tree.Tree.nodes))

@@ -32,7 +32,14 @@ val level_of : t -> string -> int option
 
 val to_bigraph : t -> Bigraph.t
 (** Even-parity levels are V₁ (left), odd-parity levels V₂ (right);
-    edges connect each object to its defining objects. *)
+    edges connect each object to its defining objects. Served from the
+    lazily-built {!compiled} handle, so repeated calls return the same
+    graph without re-materialising it. *)
+
+val compiled : t -> Engine.Compiled.t
+(** The hierarchy compiled for serving (bigraph, CSR arena,
+    classification profile, component orderings), built on first use
+    and cached in the record. *)
 
 val object_index : t -> string -> int option
 (** Underlying index in {!to_bigraph}'s graph. *)
@@ -40,6 +47,8 @@ val object_index : t -> string -> int option
 val object_name : t -> int -> string
 
 val profile : t -> Classify.profile
+(** Memoized via {!compiled}: classification runs at most once per
+    hierarchy value. *)
 
 val minimal_connection :
   t ->

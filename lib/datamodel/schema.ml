@@ -5,7 +5,37 @@ open Bipartite
 type t = {
   relations : (string * string list) list;
   attr_list : string list;  (* sorted *)
+  compiled : Engine.Compiled.t Lazy.t;
+      (* bigraph + classification, built at most once per schema *)
 }
+
+let attr_index_in attr_list a =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when x = a -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 attr_list
+
+let build_bigraph relations attr_list =
+  let nl = List.length attr_list in
+  let nr = List.length relations in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun j (_, attrs) ->
+           List.map
+             (fun a ->
+               match attr_index_in attr_list a with
+               | Some i -> (i, j)
+               | None ->
+                 (* Unreachable through [make], which derives the
+                    attribute universe from the relations themselves. *)
+                 invalid_arg ("Schema.to_bigraph: unknown attribute: " ^ a))
+             attrs)
+         relations)
+  in
+  Bigraph.of_edges ~nl ~nr edges
 
 let make relations =
   let names = List.map fst relations in
@@ -23,7 +53,11 @@ let make relations =
       if List.mem n attr_list then
         invalid_arg ("Schema.make: name used as both relation and attribute: " ^ n))
     names;
-  { relations; attr_list }
+  {
+    relations;
+    attr_list;
+    compiled = lazy (Engine.Compiled.compile (build_bigraph relations attr_list));
+  }
 
 let of_database db =
   make
@@ -35,13 +69,7 @@ let relation_names t = List.map fst t.relations
 let attributes t = t.attr_list
 let relation_attrs t name = List.assoc name t.relations
 
-let attr_index t a =
-  let rec go i = function
-    | [] -> None
-    | x :: _ when x = a -> Some i
-    | _ :: rest -> go (i + 1) rest
-  in
-  go 0 t.attr_list
+let attr_index t a = attr_index_in t.attr_list a
 
 let relation_index t n =
   let rec go i = function
@@ -51,25 +79,8 @@ let relation_index t n =
   in
   go 0 t.relations
 
-let to_bigraph t =
-  let nl = List.length t.attr_list in
-  let nr = List.length t.relations in
-  let edges =
-    List.concat
-      (List.mapi
-         (fun j (_, attrs) ->
-           List.map
-             (fun a ->
-               match attr_index t a with
-               | Some i -> (i, j)
-               | None ->
-                 (* Unreachable through [make], which derives the
-                    attribute universe from the relations themselves. *)
-                 invalid_arg ("Schema.to_bigraph: unknown attribute: " ^ a))
-             attrs)
-         t.relations)
-  in
-  Bigraph.of_edges ~nl ~nr edges
+let compiled t = Lazy.force t.compiled
+let to_bigraph t = Engine.Compiled.graph (compiled t)
 
 let to_hypergraph t =
   let index a =
@@ -100,7 +111,7 @@ let object_name t v =
 
 let is_attribute t name = attr_index t name <> None
 
-let profile t = Classify.profile (to_bigraph t)
+let profile t = Engine.Compiled.profile (compiled t)
 
 let acyclicity t = Acyclicity.degree (to_hypergraph t)
 

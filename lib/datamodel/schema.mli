@@ -24,7 +24,15 @@ val relation_attrs : t -> string -> string list
 
 val to_bigraph : t -> Bigraph.t
 (** Left node [i] = i-th attribute of {!attributes}; right node [j] =
-    j-th relation of {!relation_names}. *)
+    j-th relation of {!relation_names}. Served from the lazily-built
+    {!compiled} handle, so repeated calls return the same graph without
+    re-materialising it. *)
+
+val compiled : t -> Engine.Compiled.t
+(** The schema compiled for serving (bigraph, CSR arena, classification
+    profile, component orderings), built on first use and cached in the
+    schema record; feed it to [Engine.Session.create] to answer query
+    batches. *)
 
 val to_hypergraph : t -> Hypergraph.t
 
@@ -38,6 +46,8 @@ val object_name : t -> int -> string
 val is_attribute : t -> string -> bool
 
 val profile : t -> Classify.profile
+(** Memoized via {!compiled}: classification runs at most once per
+    schema value. *)
 
 val acyclicity : t -> Acyclicity.degree
 (** Degree of the scheme hypergraph. *)

@@ -1,0 +1,59 @@
+open Graphs
+open Bipartite
+
+type component = {
+  nodes : Iset.t;
+  order : int list;
+  alg1_prep : (Steiner.Algorithm1.prep, Steiner.Algorithm1.error) result;
+}
+
+type t = {
+  graph : Bigraph.t;
+  u : Ugraph.t;
+  csr : Csr.t;
+  profile : Classify.profile;
+  comp_id : int array;
+  components : component array;
+}
+
+let graph t = t.graph
+let ugraph t = t.u
+let csr t = t.csr
+let profile t = t.profile
+let n_components t = Array.length t.components
+
+let compile ?(trace = Observe.Trace.disabled)
+    ?(metrics = Observe.Metrics.disabled) graph =
+  let u = Bigraph.ugraph graph in
+  Observe.Trace.span trace "compile"
+    ~attrs:
+      [
+        ("nodes", Observe.Trace.Int (Ugraph.n u));
+        ("edges", Observe.Trace.Int (Ugraph.m u));
+      ]
+  @@ fun () ->
+  let csr = Csr.of_ugraph u in
+  let profile = Classify.profile ~trace graph in
+  let comp_id, comps =
+    Observe.Trace.span trace "compile.components" (fun () ->
+        Traverse.component_ids u)
+  in
+  let components =
+    Observe.Trace.span trace "compile.orderings" @@ fun () ->
+    Array.of_list
+      (List.map
+         (fun nodes ->
+           {
+             nodes;
+             (* Increasing node ids: the completion Algorithm 2 applies
+                when no order is supplied, so session answers match the
+                one-shot path node for node. *)
+             order = Iset.elements nodes;
+             alg1_prep = Steiner.Algorithm1.prepare ~trace graph ~comp:nodes;
+           })
+         comps)
+  in
+  Observe.Trace.add_attr trace "components"
+    (Observe.Trace.Int (Array.length components));
+  Observe.Metrics.incr (Observe.Metrics.counter metrics "engine.compiles");
+  { graph; u; csr; profile; comp_id; components }

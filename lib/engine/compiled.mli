@@ -1,0 +1,48 @@
+(** A conceptual schema compiled once, queried many times.
+
+    The paper's serving setting (Section 3) fixes the bipartite scheme
+    and streams terminal-set queries over it. Everything that depends
+    only on the scheme — the flat CSR adjacency arena, the
+    chordality/acyclicity {!Bipartite.Classify.profile}, the connected
+    components, Algorithm 2's elimination order and Algorithm 1's GYO
+    join-tree ordering per component — is computed here exactly once;
+    {!Session} then answers each query against the cached plan. *)
+
+open Graphs
+open Bipartite
+
+type component = {
+  nodes : Iset.t;
+  order : int list;
+      (** Algorithm 2 elimination order: increasing node ids, matching
+          the one-shot default so session answers are identical *)
+  alg1_prep : (Steiner.Algorithm1.prep, Steiner.Algorithm1.error) result;
+      (** Algorithm 1's Lemma 1 ordering (reverse join-tree preorder),
+          or [Error Not_alpha_acyclic] when the component has no join
+          tree *)
+}
+
+type t = {
+  graph : Bigraph.t;
+  u : Ugraph.t;  (** [Bigraph.ugraph graph], fetched once *)
+  csr : Csr.t;  (** flat adjacency arena shared by solver scratches *)
+  profile : Classify.profile;
+  comp_id : int array;  (** component index per node *)
+  components : component array;
+}
+(** The record is exposed read-only by convention: sessions and
+    downstream layers read it, nobody mutates it. *)
+
+val compile :
+  ?trace:Observe.Trace.t -> ?metrics:Observe.Metrics.t -> Bigraph.t -> t
+(** One-time schema compilation. [trace] records a ["compile"] span
+    with the classifier's spans, ["compile.components"] and
+    ["compile.orderings"] children, and a [components] count attribute;
+    [metrics] bumps the [engine.compiles] counter. Compilation performs
+    no budgeted work — budgets meter queries only. *)
+
+val graph : t -> Bigraph.t
+val ugraph : t -> Ugraph.t
+val csr : t -> Csr.t
+val profile : t -> Classify.profile
+val n_components : t -> int

@@ -1,0 +1,83 @@
+(** Query sessions over a compiled schema.
+
+    A session owns the per-query mutable state — solver scratch buffers
+    (CSR-backed bitsets, BFS queues) plus default budget and
+    observability sinks — and answers any number of terminal-set
+    queries against one {!Compiled.t}. Classification, component
+    decomposition and elimination orderings are read from the compiled
+    plan; a query performs only terminal location, the degradation
+    ladder, and the chosen solver. Sessions are not safe for concurrent
+    use (the scratch buffers are shared across queries by design). *)
+
+open Graphs
+open Bipartite
+module Budget = Runtime.Budget
+module Degrade = Runtime.Degrade
+module Errors = Runtime.Errors
+module Tree = Steiner.Tree
+module Algorithm1 = Steiner.Algorithm1
+
+(** Which solver produced a result and with what guarantee. *)
+type method_used =
+  | Used_forest  (** exact and unique: graph is (4,1)-chordal *)
+  | Used_algorithm2  (** exact: graph is (6,2)-chordal (Theorem 5) *)
+  | Used_exact_dp  (** exact: Dreyfus–Wagner *)
+  | Used_elimination  (** heuristic nonredundant cover (no guarantee) *)
+  | Used_mst_approx  (** metric-closure MST 2-approximation *)
+
+type solution = {
+  tree : Tree.t;
+  method_used : method_used;
+  optimal : bool;  (** [provenance.guarantee = Exact] *)
+  profile : Classify.profile;
+  provenance : Degrade.provenance;
+      (** which ladder rung ran, why earlier rungs were abandoned, and
+          the resulting guarantee *)
+}
+
+type t
+
+val create :
+  ?budget:Budget.t ->
+  ?degrade:bool ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
+  Compiled.t ->
+  t
+(** Allocates the session scratch (sharing the compiled CSR arena) and
+    fixes the defaults every {!query} inherits: [budget] (default
+    unlimited) meters queries — never compilation — [degrade] (default
+    [true]) selects ladder fall-through vs fail-fast, and
+    [trace]/[metrics] default to the shared inert instances. *)
+
+val compiled : t -> Compiled.t
+
+val query :
+  ?budget:Budget.t ->
+  ?degrade:bool ->
+  t ->
+  p:Iset.t ->
+  (solution, Errors.t) result
+(** One minimal-connection query. Validation (empty, out-of-range,
+    disconnected terminals) is O(|p|) against the cached component ids;
+    the degradation ladder, rung spans, [ladder.*] events and
+    [budget.checks]/[rung.abandonments] counters are exactly those of
+    the one-shot solver, recorded under a ["query"] span. [?budget] and
+    [?degrade] override the session defaults for this query only — a
+    fresh fuel budget per query is the typical batch pattern. *)
+
+val solve_many :
+  ?budget:Budget.t ->
+  ?degrade:bool ->
+  t ->
+  Iset.t list ->
+  (solution, Errors.t) result list
+(** [query] over a batch, in order, reusing the session scratch; one
+    result per terminal set, errors kept in position. A shared [budget]
+    is drained across the whole batch. *)
+
+val query_relations :
+  t -> p:Iset.t -> (Algorithm1.result, Errors.t) result
+(** Algorithm 1 (minimum relation count, Theorem 3/4) against the
+    join-tree ordering cached at compile time. [Invalid_instance] when
+    the terminal component is not α-acyclic. *)

@@ -39,6 +39,12 @@ let components ?within g =
   in
   go w []
 
+let component_ids ?within g =
+  let comps = components ?within g in
+  let id = Array.make (Ugraph.n g) (-1) in
+  List.iteri (fun k c -> Iset.iter (fun v -> id.(v) <- k) c) comps;
+  (id, comps)
+
 let is_connected ?within g =
   let w = default_within g within in
   match Iset.min_elt_opt w with

@@ -16,6 +16,12 @@ val component : ?within:Iset.t -> Ugraph.t -> int -> Iset.t
 val components : ?within:Iset.t -> Ugraph.t -> Iset.t list
 (** All connected components of the induced subgraph. *)
 
+val component_ids : ?within:Iset.t -> Ugraph.t -> int array * Iset.t list
+(** One BFS sweep shared by many later membership queries: [ids.(v)] is
+    the index of [v]'s component in the returned list ([-1] for nodes
+    outside [within]). Whether a node set lies in one component is then
+    O(|set|) instead of a fresh traversal. *)
+
 val is_connected : ?within:Iset.t -> Ugraph.t -> bool
 (** The induced subgraph is connected. Vacuously true when [within] is
     empty. *)

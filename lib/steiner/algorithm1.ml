@@ -47,28 +47,51 @@ let eliminate_sets u ~comp ~p w_order =
   in
   fixpoint comp
 
-(* The same elimination on the flat kernels: adjacency from a CSR row,
-   node sets as dense bitsets, connectivity by an array-based BFS. All
-   scratch structures are allocated once; the decisions taken are
-   exactly those of [eliminate_sets]. *)
-let eliminate_kernel u ~comp ~p w_order =
+(* The flat-kernel elimination keeps all its working state in a scratch
+   record so a session serving many queries over the same graph builds
+   the CSR adjacency and the bitset/array buffers exactly once. *)
+type scratch = {
+  csr : Csr.t;
+  current : Bitset.t;
+  pb : Bitset.t;
+  doomed : Bitset.t;
+  candidate : Bitset.t;
+  queue : int array;
+  seen : int array;
+  mutable generation : int;
+}
+
+let make_scratch ?csr u =
   let n = Ugraph.n u in
-  let csr = Csr.of_ugraph u in
-  let current = Bitset.of_iset ~len:n comp in
-  let pb = Bitset.of_iset ~len:n p in
-  let doomed = Bitset.create n in
-  let candidate = Bitset.create n in
-  let queue = Array.make n 0 in
-  let seen = Array.make n 0 in
-  let generation = ref 0 in
+  {
+    csr = (match csr with Some c -> c | None -> Csr.of_ugraph u);
+    current = Bitset.create n;
+    pb = Bitset.create n;
+    doomed = Bitset.create n;
+    candidate = Bitset.create n;
+    queue = Array.make n 0;
+    seen = Array.make n 0;
+    generation = 0;
+  }
+
+(* The same elimination as [eliminate_sets] on the flat kernels:
+   adjacency from a CSR row, node sets as dense bitsets, connectivity
+   by an array-based BFS. The decisions taken are exactly those of
+   [eliminate_sets]; only the scratch buffers differ. *)
+let eliminate_kernel_with s ~comp ~p w_order =
+  let { csr; current; pb; doomed; candidate; queue; seen; _ } = s in
+  Bitset.clear current;
+  Iset.iter (Bitset.add current) comp;
+  Bitset.clear pb;
+  Iset.iter (Bitset.add pb) p;
   let connected within =
     match Bitset.min_elt_opt within with
     | None -> true
-    | Some s ->
-      incr generation;
-      let gen = !generation in
-      seen.(s) <- gen;
-      queue.(0) <- s;
+    | Some start ->
+      s.generation <- s.generation + 1;
+      let gen = s.generation in
+      seen.(start) <- gen;
+      queue.(0) <- start;
       let head = ref 0 and tail = ref 1 in
       while !head < !tail do
         let x = queue.(!head) in
@@ -118,79 +141,120 @@ let eliminate_kernel u ~comp ~p w_order =
   done;
   Bitset.to_iset current
 
-let solve_with ~eliminate ?(trace = Observe.Trace.disabled) g ~p =
-  let u = Bigraph.ugraph g in
-  match Traverse.component_containing u p with
-  | None -> Error Disconnected_terminals
-  | Some comp ->
+let eliminate_kernel u ~comp ~p w_order =
+  eliminate_kernel_with (make_scratch u) ~comp ~p w_order
+
+(* ------------------------------------------------------------------ *)
+(* Compile-once preprocessing: the Lemma 1 ordering depends only on
+   the component, not on the terminal set, so a session answering many
+   queries computes the join tree and W once per component.           *)
+(* ------------------------------------------------------------------ *)
+
+type prep = {
+  comp : Iset.t;
+  w_order : int list;  (* [] for trivial (<= 1 node) components *)
+}
+
+let prep_order p = p.w_order
+
+let prepare ?(trace = Observe.Trace.disabled) g ~comp =
+  if Iset.cardinal comp <= 1 then Ok { comp; w_order = [] }
+  else begin
+    let u = Bigraph.ugraph g in
     let right_in_comp =
       Iset.elements (Iset.inter comp (Bigraph.right_nodes g))
     in
     (* H¹ of the component: one hyperedge per right node, over the left
        universe. Right nodes in the component always have at least one
        neighbor (they would otherwise be isolated and the component
-       would be a singleton); a singleton component is the trivial
-       case below. *)
-    if Iset.cardinal comp <= 1 then
+       would be a singleton). *)
+    let family = List.map (fun v -> Ugraph.neighbors u v) right_in_comp in
+    let h = Hypergraph.create ~n_nodes:(Bigraph.nl g) family in
+    match
+      Observe.Trace.span trace "algorithm1.join_tree" (fun () ->
+          Gyo.join_tree h)
+    with
+    | None -> Error Not_alpha_acyclic
+    | Some jt ->
+      let rip = Join_tree.preorder jt in
+      let right_arr = Array.of_list right_in_comp in
+      (* Lemma 1's W is the reverse of the running-intersection
+         ordering. *)
+      let w_order = List.rev_map (fun i -> right_arr.(i)) rip in
+      Log.debug (fun m ->
+          m "Lemma 1 ordering W = [%s]"
+            (String.concat "; " (List.map string_of_int w_order)));
+      Ok { comp; w_order }
+  end
+
+(* Step 2 + Step 3 on an already-prepared component. [p] must lie
+   inside [prep.comp] (the caller established connectivity). *)
+let solve_prepared_with ~eliminate ?(trace = Observe.Trace.disabled) g prep ~p
+    =
+  let u = Bigraph.ugraph g in
+  let comp = prep.comp in
+  if Iset.cardinal comp <= 1 then
+    Ok
+      {
+        tree = { Tree.nodes = comp; edges = [] };
+        v2_count = Iset.cardinal (Iset.inter comp (Bigraph.right_nodes g));
+        elimination_order = [];
+      }
+  else begin
+    Observe.Trace.span trace "algorithm1"
+      ~attrs:[ ("component", Observe.Trace.Int (Iset.cardinal comp)) ]
+    @@ fun () ->
+    let survivors =
+      Observe.Trace.span trace "algorithm1.eliminate" (fun () ->
+          eliminate ~comp ~p prep.w_order)
+    in
+    match Tree.of_node_set u survivors with
+    | Some tree ->
       Ok
         {
-          tree = { Tree.nodes = comp; edges = [] };
-          v2_count = Iset.cardinal (Iset.inter comp (Bigraph.right_nodes g));
-          elimination_order = [];
+          tree;
+          v2_count = Tree.count_in tree (Bigraph.right_nodes g);
+          elimination_order = prep.w_order;
         }
-    else begin
-      Observe.Trace.span trace "algorithm1"
-        ~attrs:[ ("component", Observe.Trace.Int (Iset.cardinal comp)) ]
-      @@ fun () ->
-      let family =
-        List.map (fun v -> Ugraph.neighbors u v) right_in_comp
-      in
-      let h = Hypergraph.create ~n_nodes:(Bigraph.nl g) family in
-      match
-        Observe.Trace.span trace "algorithm1.join_tree" (fun () ->
-            Gyo.join_tree h)
-      with
-      | None -> Error Not_alpha_acyclic
-      | Some jt ->
-        let rip = Join_tree.preorder jt in
-        let right_arr = Array.of_list right_in_comp in
-        (* Lemma 1's W is the reverse of the running-intersection
-           ordering. *)
-        let w_order = List.rev_map (fun i -> right_arr.(i)) rip in
-        Log.debug (fun m ->
-            m "Lemma 1 ordering W = [%s]"
-              (String.concat "; " (List.map string_of_int w_order)));
-        let survivors =
-          Observe.Trace.span trace "algorithm1.eliminate" (fun () ->
-              eliminate u ~comp ~p w_order)
-        in
-        (match Tree.of_node_set u survivors with
-        | Some tree ->
-          Ok
-            {
-              tree;
-              v2_count = Tree.count_in tree (Bigraph.right_nodes g);
-              elimination_order = w_order;
-            }
-        | None when Iset.is_empty survivors ->
-          (* Empty terminal set: everything was eliminated; the empty
-             tree connects nothing vacuously. *)
-          Ok
-            {
-              tree = { Tree.nodes = Iset.empty; edges = [] };
-              v2_count = 0;
-              elimination_order = w_order;
-            }
-        | None ->
-          (* Defensive: every accepted elimination candidate is a
-             connected cover, so a spanning tree must exist; degrade
-             instead of crashing if that invariant is ever broken. *)
-          Error Disconnected_terminals)
-    end
+    | None when Iset.is_empty survivors ->
+      (* Empty terminal set: everything was eliminated; the empty
+         tree connects nothing vacuously. *)
+      Ok
+        {
+          tree = { Tree.nodes = Iset.empty; edges = [] };
+          v2_count = 0;
+          elimination_order = prep.w_order;
+        }
+    | None ->
+      (* Defensive: every accepted elimination candidate is a
+         connected cover, so a spanning tree must exist; degrade
+         instead of crashing if that invariant is ever broken. *)
+      Error Disconnected_terminals
+  end
 
-let solve ?trace g ~p = solve_with ~eliminate:eliminate_kernel ?trace g ~p
+let solve_prepared ?trace ?scratch g prep ~p =
+  let eliminate =
+    match scratch with
+    | Some s -> eliminate_kernel_with s
+    | None -> eliminate_kernel (Bigraph.ugraph g)
+  in
+  solve_prepared_with ~eliminate ?trace g prep ~p
 
-let solve_sets ?trace g ~p = solve_with ~eliminate:eliminate_sets ?trace g ~p
+let solve_with ~eliminate ?trace g ~p =
+  let u = Bigraph.ugraph g in
+  match Traverse.component_containing u p with
+  | None -> Error Disconnected_terminals
+  | Some comp -> (
+    match prepare ?trace g ~comp with
+    | Error e -> Error e
+    | Ok prep -> solve_prepared_with ~eliminate:(eliminate u) ?trace g prep ~p
+    )
+
+let solve ?trace g ~p =
+  solve_with ~eliminate:(fun u -> eliminate_kernel u) ?trace g ~p
+
+let solve_sets ?trace g ~p =
+  solve_with ~eliminate:(fun u -> eliminate_sets u) ?trace g ~p
 
 let solve_wrt_v1 g ~p =
   let flipped = Bigraph.flip g in

@@ -37,6 +37,53 @@ val solve :
     with ["algorithm1.join_tree"] and ["algorithm1.eliminate"] child
     spans. *)
 
+(** {2 Compile-once / query-many}
+
+    Step 1 (the join tree and the Lemma 1 ordering) depends only on the
+    component, not on the terminal set, and the elimination loop's
+    working buffers depend only on the graph size. A session answering
+    many terminal-set queries over one schema computes the [prep] and a
+    [scratch] once and reuses them for every query. *)
+
+type prep
+(** A component together with its Lemma 1 ordering W. *)
+
+val prepare :
+  ?trace:Observe.Trace.t ->
+  Bigraph.t ->
+  comp:Iset.t ->
+  (prep, error) Stdlib.result
+(** Step 1 for the component [comp] (as returned by
+    {!Graphs.Traverse.component_containing} or
+    {!Graphs.Traverse.component_ids}): build H¹ restricted to the
+    component, run GYO, and derive W as the reversed join-tree preorder.
+    [Error Not_alpha_acyclic] when the component has no join tree.
+    Records an ["algorithm1.join_tree"] span. *)
+
+val prep_order : prep -> int list
+(** The Lemma 1 ordering W held by the prep (empty for trivial
+    components). *)
+
+type scratch
+(** Reusable elimination buffers (CSR adjacency, bitsets, BFS queue)
+    sized for one graph. Not safe for concurrent use. *)
+
+val make_scratch : ?csr:Csr.t -> Ugraph.t -> scratch
+(** [csr], when given, must be [Csr.of_ugraph] of the same graph; it
+    lets a session share one adjacency arena across solver scratches. *)
+
+val solve_prepared :
+  ?trace:Observe.Trace.t ->
+  ?scratch:scratch ->
+  Bigraph.t ->
+  prep ->
+  p:Iset.t ->
+  (result, error) Stdlib.result
+(** Steps 2–3 on an already-prepared component. [p] must lie inside the
+    prep's component (the caller has established connectivity). When
+    [scratch] is omitted a fresh one is allocated, making this
+    equivalent to the elimination phase of {!solve}. *)
+
 val solve_sets :
   ?trace:Observe.Trace.t -> Bigraph.t -> p:Iset.t -> (result, error) Stdlib.result
 (** Set-based reference for the elimination loop; takes exactly the

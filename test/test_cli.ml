@@ -63,6 +63,36 @@ let test_exit_budget_exhausted () =
   check_int "--no-degrade surfaces exhaustion" 5
     (run ("solve " ^ f ^ " -t A,C --fuel 2 --no-degrade"))
 
+(* ------------------------------------------------ batch --queries *)
+
+(* The batch exit code is the most severe per-query code; option
+   misuse (-t with --queries, or neither) is an input error. *)
+
+let test_batch_all_exact () =
+  let f = fixture "batch_ok" Datamodel.Figures.fig3b in
+  write_file "cli_batch_ok.queries" "# comment\nA,B\n\nA C\nA B C\n";
+  check_int "all queries exact" 0
+    (run ("solve " ^ f ^ " --queries cli_batch_ok.queries"))
+
+let test_batch_worst_code () =
+  let f = fixture "batch_bad" Datamodel.Figures.fig3b in
+  (* One good query, one unknown terminal: 4 beats 0. *)
+  write_file "cli_batch_bad.queries" "A,B\nA,ZZZ\nA C\n";
+  check_int "unknown terminal dominates" 4
+    (run ("solve " ^ f ^ " --queries cli_batch_bad.queries"));
+  (* Per-query fuel drives every query to the degraded rung: 2. *)
+  let f2 = fixture "batch_deg" Datamodel.Figures.fig2 in
+  write_file "cli_batch_deg.queries" "A,C\nA,C\n";
+  check_int "degraded batch exits 2" 2
+    (run ("solve " ^ f2 ^ " --queries cli_batch_deg.queries --fuel 2"))
+
+let test_batch_option_misuse () =
+  let f = fixture "batch_opts" Datamodel.Figures.fig3b in
+  write_file "cli_batch_opts.queries" "A,B\n";
+  check_int "-t and --queries conflict" 4
+    (run ("solve " ^ f ^ " -t A,B --queries cli_batch_opts.queries"));
+  check_int "neither -t nor --queries" 4 (run ("solve " ^ f))
+
 (* --------------------------------------- trace/metrics per rung *)
 
 (* Each scenario drives the ladder to a different rung; the artifacts
@@ -139,6 +169,12 @@ let () =
           Alcotest.test_case "3 no cover" `Quick test_exit_no_cover;
           Alcotest.test_case "4 input error" `Quick test_exit_input_error;
           Alcotest.test_case "5 exhausted" `Quick test_exit_budget_exhausted;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "0 all exact" `Quick test_batch_all_exact;
+          Alcotest.test_case "worst code wins" `Quick test_batch_worst_code;
+          Alcotest.test_case "option misuse" `Quick test_batch_option_misuse;
         ] );
       ( "observability",
         [
