@@ -99,32 +99,57 @@ let parse_queries_file path =
 (* Batch mode: compile the schema once, answer every terminal set from
    the session, report one status line per query, and exit with the
    most severe per-query code (the codes are ordered 0 < 2 < 3 < 4 < 5
-   by severity, so a numeric max is the contract). *)
-let run_batch nb ~queries ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
+   by severity, so a numeric max is the contract). With --jobs N > 1 a
+   domain pool fans both the compile tasks and the queries out; the
+   answers (and their printed order) are identical to --jobs 1. *)
+let run_batch nb ~queries ~jobs ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
     ~flush_observability =
-  let compiled = Minconn.Compiled.compile ~trace ~metrics nb.Mc_io.Parse.graph in
-  let session =
-    Minconn.Session.create ~degrade:(not no_degrade) ~trace ~metrics compiled
+  let solve_batch pool =
+    let compiled =
+      Minconn.Compiled.compile ?pool ~trace ~metrics nb.Mc_io.Parse.graph
+    in
+    let session =
+      Minconn.Session.create ~degrade:(not no_degrade) ~trace ~metrics compiled
+    in
+    let resolved =
+      List.map (fun names -> (names, Mc_io.Parse.name_set nb names)) queries
+    in
+    let ps = List.filter_map (fun (_, r) -> Result.to_option r) resolved in
+    (* A fresh budget per query: one slow query degrades itself, not
+       the rest of the batch (and per-query budgets keep pooled runs
+       deterministic). *)
+    let make_budget _ =
+      match (timeout_ms, fuel) with
+      | None, None -> Minconn.Budget.unlimited
+      | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
+    in
+    (resolved, Minconn.Session.solve_many ?pool ~make_budget session ps)
+  in
+  let resolved, answers =
+    if jobs > 1 then
+      Minconn.Pool.with_pool ~domains:jobs (fun pool -> solve_batch (Some pool))
+    else solve_batch None
   in
   let worst = ref 0 in
+  let remaining = ref answers in
   List.iteri
-    (fun i names ->
+    (fun i (names, r) ->
       let idx = i + 1 in
       Printf.printf "-- query %d: %s --\n" idx (String.concat ", " names);
       let code =
-        match Mc_io.Parse.name_set nb names with
+        match r with
         | Error n ->
           Printf.printf "error: unknown terminal %s\n" n;
           exit_input_error
-        | Ok p -> (
-          (* A fresh budget per query: one slow query degrades itself,
-             not the rest of the batch. *)
-          let budget =
-            match (timeout_ms, fuel) with
-            | None, None -> Minconn.Budget.unlimited
-            | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
+        | Ok _ -> (
+          let answer =
+            match !remaining with
+            | a :: rest ->
+              remaining := rest;
+              a
+            | [] -> assert false (* one answer per resolved query *)
           in
-          match Minconn.Session.query ~budget session ~p with
+          match answer with
           | Error e ->
             Printf.printf "error: %s\n" (Minconn.Errors.to_string e);
             Minconn.Errors.exit_code e
@@ -139,14 +164,18 @@ let run_batch nb ~queries ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
       in
       Printf.printf "minconn: query=%d code=%d\n" idx code;
       if code > !worst then worst := code)
-    queries;
+    resolved;
   Printf.printf "minconn: queries=%d exit=%d\n" (List.length queries) !worst;
   flush_observability ();
   exit !worst
 
 let solve_cmd =
-  let run path terminals queries_file timeout_ms fuel no_degrade trace_file
-      metrics_file =
+  let run path terminals queries_file jobs timeout_ms fuel no_degrade
+      trace_file metrics_file =
+    if jobs < 1 then begin
+      prerr_endline "minconn: error=invalid-jobs (need --jobs >= 1)";
+      exit exit_input_error
+    end;
     let trace =
       match trace_file with
       | None -> Observe.Trace.disabled
@@ -182,7 +211,8 @@ let solve_cmd =
     | [], Some qpath ->
       run_batch nb
         ~queries:(parse_queries_file qpath)
-        ~timeout_ms ~fuel ~no_degrade ~trace ~metrics ~flush_observability
+        ~jobs ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
+        ~flush_observability
     | _ :: _, None -> (
       let p =
         match Mc_io.Parse.name_set nb terminals with
@@ -231,6 +261,15 @@ let solve_cmd =
                 per-query status line and exits with the most severe \
                 per-query code.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Batch mode only: answer the --queries batch on $(docv) \
+                domains (default 1). Results, per-query codes and the \
+                exit code are identical for every $(docv); trace and \
+                metrics artifacts stay valid.")
+  in
   let timeout_ms =
     Arg.(
       value & opt (some int) None
@@ -273,7 +312,7 @@ let solve_cmd =
           5 budget exhausted with --no-degrade. With --queries, the \
           exit code is the most severe per-query code.")
     Term.(
-      const run $ path $ terminals $ queries_file $ timeout_ms $ fuel
+      const run $ path $ terminals $ queries_file $ jobs $ timeout_ms $ fuel
       $ no_degrade $ trace_file $ metrics_file)
 
 let relations_cmd =

@@ -34,10 +34,17 @@ type recommendation =
       (** no structure: fall back to exponential exact search or the
           MST approximation. *)
 
-val profile : ?trace:Observe.Trace.t -> Bigraph.t -> profile
-(** [trace] (default disabled) records a ["classify"] span with one
-    child span per recognizer family and the headline chordality
-    verdicts as attributes. *)
+val profile :
+  ?pool:Parallel.Pool.t -> ?trace:Observe.Trace.t -> Bigraph.t -> profile
+(** The witness hypergraphs H¹/H² and their two-sections are built
+    once and shared by every recognizer. [pool] (default: run inline)
+    fans the independent per-side checks out as parallel tasks; the
+    resulting profile is identical for any pool size. [trace] (default
+    disabled) records a ["classify"] span with one child span per
+    recognizer and the headline chordality verdicts as attributes;
+    under a pool the child spans are recorded in per-task forks and
+    merged back in task order, so the trace shape is deterministic
+    too. *)
 
 val recommend : profile -> recommendation
 

@@ -45,6 +45,12 @@ module Budget = Runtime.Budget
 module Degrade = Runtime.Degrade
 module Errors = Runtime.Errors
 
+module Pool = Parallel.Pool
+(** Fixed-size domain pool with deterministic result ordering; pass it
+    to {!Compiled.compile} and {!Session.solve_many} to spread compile
+    tasks and batch queries across cores without changing any
+    answer. *)
+
 module Compiled = Engine.Compiled
 (** One-time schema compilation: CSR arena, classification profile,
     components and elimination orderings, computed once and shared by

@@ -22,7 +22,7 @@ let csr t = t.csr
 let profile t = t.profile
 let n_components t = Array.length t.components
 
-let compile ?(trace = Observe.Trace.disabled)
+let compile ?pool ?(trace = Observe.Trace.disabled)
     ?(metrics = Observe.Metrics.disabled) graph =
   let u = Bigraph.ugraph graph in
   Observe.Trace.span trace "compile"
@@ -33,25 +33,38 @@ let compile ?(trace = Observe.Trace.disabled)
       ]
   @@ fun () ->
   let csr = Csr.of_ugraph u in
-  let profile = Classify.profile ~trace graph in
+  let profile = Classify.profile ?pool ~trace graph in
   let comp_id, comps =
     Observe.Trace.span trace "compile.components" (fun () ->
         Traverse.component_ids u)
   in
+  let prep_component tr nodes =
+    {
+      nodes;
+      (* Increasing node ids: the completion Algorithm 2 applies
+         when no order is supplied, so session answers match the
+         one-shot path node for node. *)
+      order = Iset.elements nodes;
+      alg1_prep = Steiner.Algorithm1.prepare ~trace:tr graph ~comp:nodes;
+    }
+  in
   let components =
     Observe.Trace.span trace "compile.orderings" @@ fun () ->
-    Array.of_list
-      (List.map
-         (fun nodes ->
-           {
-             nodes;
-             (* Increasing node ids: the completion Algorithm 2 applies
-                when no order is supplied, so session answers match the
-                one-shot path node for node. *)
-             order = Iset.elements nodes;
-             alg1_prep = Steiner.Algorithm1.prepare ~trace graph ~comp:nodes;
-           })
-         comps)
+    let comps = Array.of_list comps in
+    match pool with
+    | Some p when Parallel.Pool.domains p > 1 && Array.length comps > 1 ->
+      (* One task per connected component: prep only reads the shared
+         immutable graph, so tasks are independent; per-task trace
+         forks are merged in component order to keep ids stable. *)
+      let forks = Array.map (fun _ -> Observe.Trace.fork trace) comps in
+      let out =
+        Parallel.Pool.mapi_worker p
+          (fun ~worker:_ ~index nodes -> prep_component forks.(index) nodes)
+          comps
+      in
+      Array.iter (Observe.Trace.merge trace) forks;
+      out
+    | _ -> Array.map (prep_component trace) comps
   in
   Observe.Trace.add_attr trace "components"
     (Observe.Trace.Int (Array.length components));

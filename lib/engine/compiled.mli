@@ -34,8 +34,15 @@ type t = {
     downstream layers read it, nobody mutates it. *)
 
 val compile :
-  ?trace:Observe.Trace.t -> ?metrics:Observe.Metrics.t -> Bigraph.t -> t
-(** One-time schema compilation. [trace] records a ["compile"] span
+  ?pool:Parallel.Pool.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
+  Bigraph.t ->
+  t
+(** One-time schema compilation. [pool] (default: inline) fans the
+    classifier's independent checks and the per-component
+    ordering/join-tree prep out across domains; the compiled plan is
+    identical for any pool size. [trace] records a ["compile"] span
     with the classifier's spans, ["compile.components"] and
     ["compile.orderings"] children, and a [components] count attribute;
     [metrics] bumps the [engine.compiles] counter. Compilation performs

@@ -1,4 +1,4 @@
-type counter = { cname : string; mutable count : int; live : bool }
+type counter = { cname : string; count : int Atomic.t; live : bool }
 
 type histogram = {
   hname : string;
@@ -7,18 +7,20 @@ type histogram = {
   mutable sum : float;
   mutable events : int;
   live : bool;
+  hlock : Mutex.t;  (* observe mutates three fields; keep them coherent *)
 }
 
 type t = {
   active : bool;
   mutable counters : counter list;  (* reverse creation order *)
   mutable histograms : histogram list;
+  rlock : Mutex.t;  (* guards find-or-create on the two lists *)
 }
 
 (* A single shared dead counter/histogram backs the disabled registry,
    so the hot-path [incr]/[observe] cost when metrics are off is one
    field load plus a branch. *)
-let inert = { cname = ""; count = 0; live = false }
+let inert = { cname = ""; count = Atomic.make 0; live = false }
 
 let inert_histogram =
   {
@@ -28,47 +30,67 @@ let inert_histogram =
     sum = 0.0;
     events = 0;
     live = false;
+    hlock = Mutex.create ();
   }
 
-let disabled = { active = false; counters = []; histograms = [] }
-let make () = { active = true; counters = []; histograms = [] }
+let disabled =
+  { active = false; counters = []; histograms = []; rlock = Mutex.create () }
+
+let make () =
+  { active = true; counters = []; histograms = []; rlock = Mutex.create () }
+
 let active t = t.active
 
 let counter t name =
   if not t.active then inert
-  else
-    match List.find_opt (fun c -> c.cname = name) t.counters with
-    | Some c -> c
-    | None ->
-      let c = { cname = name; count = 0; live = true } in
-      t.counters <- c :: t.counters;
-      c
+  else begin
+    Mutex.lock t.rlock;
+    let c =
+      match List.find_opt (fun c -> c.cname = name) t.counters with
+      | Some c -> c
+      | None ->
+        let c = { cname = name; count = Atomic.make 0; live = true } in
+        t.counters <- c :: t.counters;
+        c
+    in
+    Mutex.unlock t.rlock;
+    c
+  end
 
-let incr ?(by = 1) (c : counter) = if c.live then c.count <- c.count + by
-let count (c : counter) = c.count
+let incr ?(by = 1) (c : counter) =
+  if c.live then ignore (Atomic.fetch_and_add c.count by)
+
+let count (c : counter) = Atomic.get c.count
 
 let default_bounds = [| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384. |]
 
 let histogram t ?(bounds = default_bounds) name =
   if not t.active then inert_histogram
-  else
-    match List.find_opt (fun h -> h.hname = name) t.histograms with
-    | Some h -> h
-    | None ->
-      let bounds = Array.copy bounds in
-      Array.sort compare bounds;
-      let h =
-        {
-          hname = name;
-          bounds;
-          buckets = Array.make (Array.length bounds + 1) 0;
-          sum = 0.0;
-          events = 0;
-          live = true;
-        }
-      in
-      t.histograms <- h :: t.histograms;
-      h
+  else begin
+    Mutex.lock t.rlock;
+    let h =
+      match List.find_opt (fun h -> h.hname = name) t.histograms with
+      | Some h -> h
+      | None ->
+        let bounds = Array.copy bounds in
+        Array.sort compare bounds;
+        let h =
+          {
+            hname = name;
+            bounds;
+            buckets = Array.make (Array.length bounds + 1) 0;
+            sum = 0.0;
+            events = 0;
+            live = true;
+            hlock = Mutex.create ();
+          }
+        in
+        t.histograms <- h :: t.histograms;
+        h
+    in
+    Mutex.unlock t.rlock;
+    h
+  end
 
 let observe h v =
   if h.live then begin
@@ -77,13 +99,15 @@ let observe h v =
     while !i < k && v > h.bounds.(!i) do
       i := !i + 1
     done;
+    Mutex.lock h.hlock;
     h.buckets.(!i) <- h.buckets.(!i) + 1;
     h.sum <- h.sum +. v;
-    h.events <- h.events + 1
+    h.events <- h.events + 1;
+    Mutex.unlock h.hlock
   end
 
 let counters t =
-  List.rev_map (fun c -> (c.cname, c.count)) t.counters
+  List.rev_map (fun c -> (c.cname, Atomic.get c.count)) t.counters
 
 let histograms t = List.rev t.histograms
 

@@ -87,6 +87,32 @@ let event t ?(attrs = []) name =
     close_span t s
   end
 
+(* Forks share the clock and the origin t0 so child start offsets stay
+   on the parent's timeline, but get a private id space and span
+   buffers: a fork is only ever written by one domain, so recording
+   into it needs no synchronisation. *)
+let fork t =
+  if not t.active then disabled
+  else
+    { active = true; clock = t.clock; t0 = t.t0; next_id = 1; stack = [];
+      closed = [] }
+
+let merge t child =
+  if t.active && child.active && child != t then begin
+    (* Renumber the child's ids into the parent's space; the child's
+       root spans are re-parented under the parent's innermost open
+       span (the fan-out site), so the merged trace stays one tree. *)
+    let offset = t.next_id - 1 in
+    let anchor = match t.stack with [] -> 0 | s :: _ -> s.id in
+    let relocate s =
+      { s with
+        id = s.id + offset;
+        parent = (if s.parent = 0 then anchor else s.parent + offset) }
+    in
+    t.closed <- List.rev_append (List.rev_map relocate child.closed) t.closed;
+    t.next_id <- t.next_id + (child.next_id - 1)
+  end
+
 (* Completed spans in id (creation) order; still-open spans are not
    reported. *)
 let spans t =

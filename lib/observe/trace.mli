@@ -42,6 +42,20 @@ val event : t -> ?attrs:(string * value) list -> string -> unit
 (** Zero-duration span, for point-in-time facts such as ladder
     decisions. *)
 
+val fork : t -> t
+(** [fork t] is a fresh trace sharing [t]'s clock and time origin but
+    with a private id space and span buffers, so one worker domain can
+    record into it without synchronisation.  Forking {!disabled} gives
+    {!disabled}.  Recombine with {!merge}. *)
+
+val merge : t -> t -> unit
+(** [merge t child] relocates the [child] fork's completed spans into
+    [t]: child ids are renumbered after [t]'s current ids and the
+    child's root spans are re-parented under [t]'s innermost open span
+    (the fan-out site).  Merging forks in a fixed order yields a
+    deterministic id assignment regardless of which domain finished
+    first.  No-op if either trace is disabled. *)
+
 val spans : t -> span list
 (** Completed spans in creation (id) order. *)
 

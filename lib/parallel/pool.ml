@@ -1,0 +1,156 @@
+(* Fixed-size domain pool. See pool.mli for the contract.
+
+   Design notes:
+
+   - The queue holds closures of type [unit -> unit]; each fan-out
+     entry point pre-allocates result/error slot arrays and wraps
+     every item in a closure that writes its own slot, so results come
+     back in item order regardless of completion order.
+
+   - Batch completion is tracked by an [Atomic.t] countdown plus a
+     dedicated mutex/condvar pair per batch. A worker finishing the
+     last task decrements the counter to zero, then takes the batch
+     mutex and signals; the submitter waits under the same mutex in a
+     [while remaining > 0] loop, so there is no lost-wakeup window.
+
+   - Workers never raise out of their loop: task exceptions are caught
+     by the wrapper closure and parked in the batch's error slots. The
+     submitter re-raises the lowest-indexed one (with its original
+     backtrace) after the whole batch has drained, which keeps
+     exception propagation deterministic and never strands a worker
+     holding a task from an abandoned batch. *)
+
+type job = unit -> unit
+
+type t = {
+  size : int;                        (* requested pool size, >= 1 *)
+  queue : job Queue.t;               (* guarded by [lock] *)
+  lock : Mutex.t;
+  nonempty : Condition.t;            (* signalled on push / shutdown *)
+  mutable stopped : bool;            (* guarded by [lock] *)
+  mutable workers : unit Domain.t list;
+}
+
+let max_domains = 64
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.lock;
+    let rec wait () =
+      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      else if pool.stopped then None
+      else (Condition.wait pool.nonempty pool.lock; wait ())
+    in
+    let job = wait () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some job -> job (); next ()
+  in
+  next ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> max 1 (Domain.recommended_domain_count ())
+    | Some d ->
+      if d < 1 then invalid_arg "Pool.create: domains must be >= 1"
+      else min d max_domains
+  in
+  let pool =
+    { size; queue = Queue.create (); lock = Mutex.create ();
+      nonempty = Condition.create (); stopped = false; workers = [] }
+  in
+  if size >= 2 then
+    pool.workers <-
+      List.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let domains t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let already = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* A task failure, parked until the batch drains. *)
+type failure = { exn : exn; bt : Printexc.raw_backtrace }
+
+let reraise { exn; bt } = Printexc.raise_with_backtrace exn bt
+
+(* Worker identity within a batch: workers pull tasks concurrently, so
+   a stable per-domain index is handed out once per domain per batch
+   via a small DLS-cached (batch id, index) pair. Simpler and cheaper:
+   hand indices out from an atomic ticket counter the first time a
+   domain touches the batch, remembered in DLS keyed by batch id. *)
+type worker_ids = { mutable batch : int; mutable id : int }
+
+let worker_ids_key =
+  Domain.DLS.new_key (fun () -> { batch = -1; id = 0 })
+
+let batch_counter = Atomic.make 0
+
+let mapi_worker t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if t.size <= 1 || n = 1 then
+    Array.mapi (fun i x -> f ~worker:0 ~index:i x) items
+  else begin
+    let batch_id = Atomic.fetch_and_add batch_counter 1 in
+    let tickets = Atomic.make 0 in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_m = Mutex.create () in
+    let done_c = Condition.create () in
+    let task i () =
+      let ids = Domain.DLS.get worker_ids_key in
+      if ids.batch <> batch_id then begin
+        ids.batch <- batch_id;
+        ids.id <- Atomic.fetch_and_add tickets 1 mod t.size
+      end;
+      (match f ~worker:ids.id ~index:i items.(i) with
+       | r -> results.(i) <- Some r
+       | exception exn ->
+         let bt = Printexc.get_raw_backtrace () in
+         errors.(i) <- Some { exn; bt });
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_m;
+        Condition.signal done_c;
+        Mutex.unlock done_m
+      end
+    in
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool: submit on a shut-down pool"
+    end;
+    for i = 0 to n - 1 do Queue.push (task i) t.queue done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    Mutex.lock done_m;
+    while Atomic.get remaining > 0 do Condition.wait done_c done_m done;
+    Mutex.unlock done_m;
+    (match Array.find_map Fun.id errors with
+     | Some failure -> reraise failure
+     | None -> ());
+    Array.map
+      (function Some r -> r | None -> assert false (* all slots filled *))
+      results
+  end
+
+let map t f items = mapi_worker t (fun ~worker:_ ~index:_ x -> f x) items
+
+let run_all t thunks =
+  let arr = Array.of_list thunks in
+  mapi_worker t (fun ~worker:_ ~index:_ th -> th ()) arr |> Array.to_list

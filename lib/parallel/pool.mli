@@ -1,0 +1,58 @@
+(** A fixed-size pool of worker domains with deterministic result
+    ordering.
+
+    The pool owns [domains] worker domains (spawned once, at
+    {!create}) and a shared FIFO of tasks. Every fan-out entry point —
+    {!map}, {!mapi_worker}, {!run_all} — submits one task per item,
+    blocks until the whole batch has completed, and returns results in
+    the submission order of the items, never in completion order. A
+    task that raises is recorded and the exception of the {e
+    lowest-indexed} failing item is re-raised in the caller once the
+    batch has drained, so exception propagation is deterministic too.
+
+    A pool created with [~domains:1] spawns no domains at all: every
+    batch runs inline in the caller, making the 1-domain path
+    behaviourally and performance-wise identical to plain sequential
+    code. This is the contract the engine's determinism tests pin
+    down: for deterministic task bodies, the observable results of a
+    batch are a pure function of the items, independent of [domains].
+
+    Tasks must not submit to the pool they run on (the caller is not a
+    worker, so a nested submission would deadlock a worker waiting on
+    its own queue); the engine layers keep all nesting in the caller.
+
+    Worker domains share the OCaml heap: task bodies may freely read
+    immutable structures (graphs, hypergraphs, compiled plans) but
+    must confine mutation to per-task or per-worker state — the
+    [worker] index passed by {!mapi_worker} indexes scratch arenas for
+    exactly this purpose. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] builds a pool of size [domains]: for
+    [domains >= 2] that many worker domains are spawned; for
+    [domains = 1] none are and batches run inline. [domains] defaults
+    to [Domain.recommended_domain_count ()] and must be >= 1 (values
+    above 64 are clamped). *)
+
+val domains : t -> int
+(** The pool size requested at {!create} (1 for the inline pool). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items]: [f] on every item, results in item order. *)
+
+val mapi_worker : t -> (worker:int -> index:int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map} but the task also learns which worker domain runs it
+    ([worker] in [0 .. domains - 1]; always 0 on the inline pool) and
+    its own item index. Use [worker] to index per-domain scratch. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Heterogeneous batch of thunks, results in list order. *)
+
+val shutdown : t -> unit
+(** Stop the workers and join them. Idempotent. Submitting to a
+    shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] = create, run [f], always {!shutdown}. *)

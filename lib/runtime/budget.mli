@@ -46,3 +46,36 @@ val spent : t -> int
 val protect : t -> (unit -> 'a) -> ('a, Errors.stop_reason) result
 (** Run a thunk at the runtime boundary, converting {!Exhausted} into
     [Error reason]. *)
+
+(** Batch-level budgets shared across domains.
+
+    A {!Shared.handle} pools a deadline and a fuel tank; each parallel
+    task checks against its own {!Shared.view} (an ordinary {!t}, so
+    solvers are oblivious), but fuel is drawn from the shared atomic
+    tank and a batch-wide cancel flag is consulted on every check.
+    When any task exhausts the pool (or someone calls
+    {!Shared.cancel}), every in-flight sibling stops at its next
+    cooperative checkpoint — cancellation stays cooperative, nothing
+    is interrupted asynchronously.
+
+    Because domains interleave nondeterministically, *which* task
+    first drains a shared tank is not reproducible run to run; use
+    per-query [make] budgets when determinism matters and a shared
+    handle when the contract is "this whole batch gets at most X". *)
+module Shared : sig
+  type handle
+
+  val make : ?timeout_ms:int -> ?fuel:int -> unit -> handle
+  (** Like {!val:make}, but the fuel is a pooled tank for the whole
+      batch and the deadline is shared by every view. *)
+
+  val view : handle -> t
+  (** A fresh per-task budget drawing on the handle. Create one view
+      per task (views carry task-local stride/diagnostic state). *)
+
+  val cancel : handle -> Errors.stop_reason -> unit
+  (** Stop the batch: every view raises the internal exhaustion signal
+      with [reason] at its next check. First cancel wins. *)
+
+  val cancelled : handle -> Errors.stop_reason option
+end

@@ -6,7 +6,15 @@ type plan =
       reason : Errors.stop_reason;
     }
 
-let armed_plan : plan option ref = ref None
+(* The armed plan is domain-local: worker domains start with no plan
+   and receive a derived one per task via [with_derived], so a plan
+   armed in the test runner never leaks into concurrent tasks except
+   through the deterministic capture/derive path. *)
+let armed_key : plan option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_plan () = Domain.DLS.get armed_key
+let set_plan p = Domain.DLS.set armed_key p
 
 (* splitmix64: one multiply-xor-shift step per consultation, so the
    injection trace is a pure function of the seed and the check
@@ -24,19 +32,18 @@ let unit_float bits =
 
 let arm_after ~checks ~reason =
   if checks < 0 then invalid_arg "Fault.arm_after: negative check count";
-  armed_plan := Some (After { remaining = checks; reason })
+  set_plan (Some (After { remaining = checks; reason }))
 
 let arm ~seed ~p ~reason =
   if not (p >= 0.0 && p <= 1.0) then invalid_arg "Fault.arm: p outside [0,1]";
-  armed_plan :=
-    Some (Probability { p; state = Int64.of_int seed; reason })
+  set_plan (Some (Probability { p; state = Int64.of_int seed; reason }))
 
-let disarm () = armed_plan := None
+let disarm () = set_plan None
 
-let armed () = !armed_plan <> None
+let armed () = get_plan () <> None
 
 let should_fail () =
-  match !armed_plan with
+  match get_plan () with
   | None -> None
   | Some (After a) ->
     if a.remaining <= 0 then Some a.reason
@@ -52,3 +59,40 @@ let should_fail () =
 let with_plan ~arm:do_arm f =
   do_arm ();
   Fun.protect ~finally:disarm f
+
+(* Per-query derivation: the batch path snapshots the submitting
+   domain's plan once ([capture]), then rebuilds an equivalent but
+   independent plan for each query from the snapshot and the query's
+   index ([with_derived]).  Every query therefore sees the same
+   injection trace whether the batch runs sequentially or on any
+   number of domains — the property the parallel determinism tests
+   pin. *)
+type captured =
+  | No_plan
+  | Countdown of { checks : int; reason : Errors.stop_reason }
+  | Coin of { p : float; state : int64; reason : Errors.stop_reason }
+
+let capture () =
+  match get_plan () with
+  | None -> No_plan
+  | Some (After a) -> Countdown { checks = a.remaining; reason = a.reason }
+  | Some (Probability pr) ->
+    Coin { p = pr.p; state = pr.state; reason = pr.reason }
+
+let derive c ~index =
+  match c with
+  | No_plan -> None
+  | Countdown { checks; reason } ->
+    (* Same countdown for every query: "fail after N checks" becomes a
+       per-query property, not a position in some global sequence. *)
+    Some (After { remaining = checks; reason })
+  | Coin { p; state; reason } ->
+    (* Mix the query index into the stream so queries draw independent
+       but reproducible coins. *)
+    let _, mixed = splitmix64 (Int64.add state (Int64.of_int (index + 1))) in
+    Some (Probability { p; state = mixed; reason })
+
+let with_derived c ~index f =
+  let saved = get_plan () in
+  set_plan (derive c ~index);
+  Fun.protect ~finally:(fun () -> set_plan saved) f

@@ -10,25 +10,45 @@
     The probabilistic mode steps a private splitmix64 stream, so a
     given seed yields the same injection trace run to run; tests derive
     seeds from [Workloads.Rng.for_trial] to stay per-trial
-    deterministic. The harness is global, single-domain, test-only
-    state: production paths never arm it, and {!Budget.check} only
-    consults it on budgeted (limited) paths. *)
+    deterministic. The harness is domain-local, test-only state:
+    production paths never arm it, {!Budget.check} only consults it on
+    budgeted (limited) paths, and worker domains see no plan unless one
+    is handed to them explicitly through {!capture}/{!with_derived} —
+    which is how batch execution keeps injection traces identical
+    across any domain count. *)
 
 val arm_after : checks:int -> reason:Errors.stop_reason -> unit
 (** Let the next [checks] checkpoints pass, then fail every subsequent
-    one with [reason] until {!disarm}. *)
+    one with [reason] until {!disarm}. Arms the calling domain. *)
 
 val arm : seed:int -> p:float -> reason:Errors.stop_reason -> unit
 (** Fail each checkpoint independently with probability [p],
-    deterministically in [seed]. *)
+    deterministically in [seed]. Arms the calling domain. *)
 
 val disarm : unit -> unit
 
 val armed : unit -> bool
 
 val should_fail : unit -> Errors.stop_reason option
-(** Consulted by {!Budget.check}; advances the armed plan. *)
+(** Consulted by {!Budget.check}; advances the calling domain's armed
+    plan. *)
 
 val with_plan : arm:(unit -> unit) -> (unit -> 'a) -> 'a
 (** [with_plan ~arm f] arms, runs [f], and always disarms (even on
     exceptions). *)
+
+type captured
+(** Immutable snapshot of the calling domain's armed plan, used to
+    hand deterministic per-query plans to batch tasks. *)
+
+val capture : unit -> captured
+(** Snapshot the current domain's plan (possibly "none"). *)
+
+val with_derived : captured -> index:int -> (unit -> 'a) -> 'a
+(** [with_derived c ~index f] runs [f] with the calling domain's plan
+    replaced by one derived from the snapshot [c] and the query
+    [index], restoring the previous plan afterwards.  A countdown plan
+    restarts its countdown for every query; a probabilistic plan draws
+    from a stream mixed with [index].  Both are pure functions of
+    [(c, index)], so a batch's injection behaviour is identical no
+    matter how queries are spread over domains. *)

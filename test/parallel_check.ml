@@ -1,0 +1,71 @@
+(* parallel-smoke driver: run the CLI batch entry point over a domain
+   pool (--jobs 2) on a checked-in query file, assert the answers are
+   byte-identical to the sequential run (--jobs 1), and validate the
+   merged trace stream and metrics snapshot.  Usage:
+     parallel_check CLI FIXTURE QUERIES TRACE_OUT METRICS_OUT OUT SEQ_OUT
+   Exits nonzero with a diagnostic on any violation, failing the dune
+   rule (and hence runtest). *)
+
+let fail fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("parallel-smoke: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  let cli, fixture, queries, trace_out, metrics_out, out, seq_out =
+    match Sys.argv with
+    | [| _; a; b; c; d; e; f; g |] -> (a, b, c, d, e, f, g)
+    | _ ->
+      fail "usage: parallel_check CLI FIXTURE QUERIES TRACE_OUT METRICS_OUT OUT SEQ_OUT"
+  in
+  let solve ~jobs ~observe stdout_to =
+    let cmd =
+      Printf.sprintf "%s solve %s --queries %s --jobs %d%s > %s"
+        (Filename.quote cli) (Filename.quote fixture) (Filename.quote queries)
+        jobs
+        (if observe then
+           Printf.sprintf " --trace %s --metrics %s" (Filename.quote trace_out)
+             (Filename.quote metrics_out)
+         else "")
+        (Filename.quote stdout_to)
+    in
+    let code = Sys.command cmd in
+    if code <> 0 then fail "CLI (--jobs %d) exited %d on the fixture" jobs code
+  in
+  solve ~jobs:2 ~observe:true out;
+  solve ~jobs:1 ~observe:false seq_out;
+  let answers = read_file out in
+  if answers = "" then fail "batch produced no output";
+  if answers <> read_file seq_out then
+    fail "--jobs 2 answers differ from --jobs 1";
+  let trace = read_file trace_out in
+  (match Observe.Export.validate_ndjson_string trace with
+  | Error e -> fail "invalid merged trace stream: %s" e
+  | Ok 0 -> fail "merged trace stream is empty"
+  | Ok _ -> ());
+  (* Shape: the compile span with the classifier under it, plus the
+     per-query spans and their ladder rungs, all merged from the
+     worker forks into one valid stream. *)
+  List.iter
+    (fun needle ->
+      if not (contains trace needle) then
+        fail "merged trace stream lacks %s" needle)
+    [
+      "\"name\":\"compile\"";
+      "\"name\":\"classify\"";
+      "\"name\":\"query\"";
+      "\"name\":\"rung:";
+    ];
+  match Observe.Export.validate_metrics_string (read_file metrics_out) with
+  | Error e -> fail "invalid metrics snapshot: %s" e
+  | Ok _ -> ()

@@ -1,0 +1,304 @@
+(* Parallel determinism: the domain pool must be invisible in every
+   observable result.  [Session.solve_many] over 1/2/4-domain pools —
+   and the pool-free sequential path — must return byte-identical
+   solutions, errors and provenance, including under injected [Fault]
+   plans and per-query fuel exhaustion mid-batch; [Compiled.compile]
+   must produce the same plan and even the same merged trace shape for
+   any pool size.  Plus direct unit coverage of [Pool] (ordering,
+   exception choice, worker ids, shutdown), [Budget.Shared]
+   (cooperative batch cancellation) and [Trace] fork/merge. *)
+
+open Graphs
+module Pool = Minconn.Pool
+module Fault = Runtime.Fault
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let sol_equal (a : Minconn.solution) (b : Minconn.solution) =
+  Iset.equal a.Minconn.tree.Steiner.Tree.nodes b.Minconn.tree.Steiner.Tree.nodes
+  && a.Minconn.tree.Steiner.Tree.edges = b.Minconn.tree.Steiner.Tree.edges
+  && a.Minconn.method_used = b.Minconn.method_used
+  && a.Minconn.optimal = b.Minconn.optimal
+  && a.Minconn.profile = b.Minconn.profile
+  && a.Minconn.provenance = b.Minconn.provenance
+
+let result_equal a b =
+  match (a, b) with
+  | Ok sa, Ok sb -> sol_equal sa sb
+  | Error ea, Error eb -> ea = eb
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let results_equal = List.for_all2 result_equal
+
+(* Batches keep their pathologies (empty sets, singletons, possibly
+   disconnected picks): errors must stay in position on every path. *)
+let query_batch rng g =
+  List.init 8 (fun _ ->
+      if Workloads.Rng.bool rng 0.1 then Iset.empty
+      else
+        Workloads.Gen_bipartite.random_terminals rng g
+          ~k:(1 + Workloads.Rng.int rng 4))
+
+let random_graph rng =
+  if Workloads.Rng.bool rng 0.5 then
+    let n_right = 2 + Workloads.Rng.int rng 6 in
+    Workloads.Gen_bipartite.chordal_62 rng ~n_right ~max_size:4
+  else
+    let nl = 2 + Workloads.Rng.int rng 8
+    and nr = 2 + Workloads.Rng.int rng 8 in
+    Workloads.Gen_bipartite.gnp rng ~nl ~nr ~p:0.3
+
+let solve_on ?pool ?make_budget g queries =
+  let compiled = Minconn.Compiled.compile ?pool g in
+  let session = Minconn.Session.create compiled in
+  Minconn.Session.solve_many ?pool ?make_budget session queries
+
+(* Sequential vs pooled at every size, compile and queries both under
+   the pool. *)
+let pool_sizes = [ 1; 2; 4 ]
+
+let all_sizes_agree ?make_budget ~arm g queries =
+  let run ?pool () =
+    match arm with
+    | None -> solve_on ?pool ?make_budget g queries
+    | Some arm ->
+      Fault.with_plan ~arm (fun () -> solve_on ?pool ?make_budget g queries)
+  in
+  let baseline = run () in
+  List.for_all
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          results_equal baseline (run ~pool ())))
+    pool_sizes
+
+let prop_batch_deterministic =
+  QCheck2.Test.make ~count:60
+    ~name:"solve_many: pool of 1/2/4 domains = sequential" seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let g = random_graph rng in
+      all_sizes_agree ~arm:None g (query_batch rng g))
+
+let prop_batch_deterministic_fuel =
+  QCheck2.Test.make ~count:60
+    ~name:"solve_many under per-query fuel exhaustion: pools = sequential"
+    seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let g = random_graph rng in
+      (* Small enough to exhaust mid-batch on real queries, large
+         enough that some rungs complete. *)
+      let fuel = 1 + Workloads.Rng.int rng 60 in
+      all_sizes_agree ~arm:None
+        ~make_budget:(fun _ -> Minconn.Budget.make ~fuel ())
+        g (query_batch rng g))
+
+let prop_batch_deterministic_faults =
+  QCheck2.Test.make ~count:60
+    ~name:"solve_many under injected faults: pools = sequential" seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let g = random_graph rng in
+      let arm =
+        if Workloads.Rng.bool rng 0.5 then
+          let checks = Workloads.Rng.int rng 40 in
+          fun () -> Fault.arm_after ~checks ~reason:Minconn.Errors.Fuel
+        else
+          let fseed = Workloads.Rng.int rng 10_000 in
+          fun () ->
+            Fault.arm ~seed:fseed ~p:0.02 ~reason:Minconn.Errors.Timeout
+      in
+      (* A limited budget is what routes checks through the fault
+         harness; fuel is high enough that only the plan fires. *)
+      all_sizes_agree ~arm:(Some arm)
+        ~make_budget:(fun _ -> Minconn.Budget.make ~fuel:1_000_000 ())
+        g (query_batch rng g))
+
+(* Compile under a pool: same plan, and the same trace, span for
+   span — fork/merge renumbering must reproduce the sequential id
+   assignment exactly. *)
+let trace_shape trace =
+  List.map
+    (fun s ->
+      (s.Observe.Trace.id, s.Observe.Trace.parent, s.Observe.Trace.name))
+    (Observe.Trace.spans trace)
+
+let prop_compile_deterministic =
+  QCheck2.Test.make ~count:40
+    ~name:"compile: pooled plan and trace shape = sequential" seed_gen
+    (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let g = random_graph rng in
+      let trace_seq = Observe.Trace.make () in
+      let c_seq = Minconn.Compiled.compile ~trace:trace_seq g in
+      List.for_all
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let trace_par = Observe.Trace.make () in
+              let c_par = Minconn.Compiled.compile ~pool ~trace:trace_par g in
+              c_par.Minconn.Compiled.profile = c_seq.Minconn.Compiled.profile
+              && c_par.Minconn.Compiled.comp_id = c_seq.Minconn.Compiled.comp_id
+              && Array.for_all2
+                   (fun (a : Minconn.Compiled.component) b ->
+                     Iset.equal a.Minconn.Compiled.nodes
+                       b.Minconn.Compiled.nodes
+                     && a.Minconn.Compiled.order = b.Minconn.Compiled.order)
+                   c_par.Minconn.Compiled.components
+                   c_seq.Minconn.Compiled.components
+              && trace_shape trace_par = trace_shape trace_seq))
+        pool_sizes)
+
+(* ------------------------------------------------------ Pool units *)
+
+let test_pool_ordering () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let out = Pool.map pool (fun x -> x * x) (Array.init 100 Fun.id) in
+      check "results in submission order" true
+        (out = Array.init 100 (fun i -> i * i));
+      check_int "domains" 4 (Pool.domains pool);
+      let lst = Pool.run_all pool [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ] in
+      check "run_all keeps list order" true (lst = [ 1; 2; 3 ]))
+
+let test_pool_lowest_exception () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i = 3 || i = 7 then failwith (string_of_int i) else i)
+          (Array.init 10 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        check "lowest-index failure wins" true (msg = "3"))
+
+let test_pool_worker_ids () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let workers =
+        Pool.mapi_worker pool
+          (fun ~worker ~index:_ () -> worker)
+          (Array.make 32 ())
+      in
+      check "worker ids within pool size" true
+        (Array.for_all (fun w -> w >= 0 && w < 3) workers))
+
+let test_pool_inline () =
+  let pool = Pool.create ~domains:1 () in
+  let out = Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+  check "inline pool maps" true (out = [| 2; 3; 4 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  check "submit after shutdown raises" true
+    (match Pool.map pool Fun.id [| 1; 2 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --------------------------------------------------- Budget.Shared *)
+
+let test_shared_fuel_cancels_batch () =
+  let h = Minconn.Budget.Shared.make ~fuel:100 () in
+  let drain view =
+    match
+      Minconn.Budget.protect view (fun () ->
+          while true do
+            Minconn.Budget.check view
+          done)
+    with
+    | Error reason -> reason
+    | Ok _ -> assert false
+  in
+  check "first view drains the tank to Fuel" true
+    (drain (Minconn.Budget.Shared.view h) = Minconn.Errors.Fuel);
+  check "exhaustion is parked for siblings" true
+    (Minconn.Budget.Shared.cancelled h = Some Minconn.Errors.Fuel);
+  (* A sibling mid-flight stops at its next checkpoint. *)
+  check "fresh view stops immediately" true
+    (drain (Minconn.Budget.Shared.view h) = Minconn.Errors.Fuel)
+
+let test_shared_cancel () =
+  let h = Minconn.Budget.Shared.make ~fuel:1_000_000 () in
+  Minconn.Budget.Shared.cancel h Minconn.Errors.Timeout;
+  let view = Minconn.Budget.Shared.view h in
+  check "cancelled handle stops views" true
+    (Minconn.Budget.protect view (fun () -> Minconn.Budget.check view)
+    = Error Minconn.Errors.Timeout);
+  (* First cancel wins. *)
+  Minconn.Budget.Shared.cancel h Minconn.Errors.Fuel;
+  check "first cancel wins" true
+    (Minconn.Budget.Shared.cancelled h = Some Minconn.Errors.Timeout)
+
+(* --------------------------------------------------- Trace / Metrics *)
+
+let test_trace_fork_merge () =
+  let now = ref 0.0 in
+  let clock () =
+    now := !now +. 1.0;
+    !now
+  in
+  let t = Observe.Trace.make ~clock () in
+  Observe.Trace.span t "root" (fun () ->
+      let f1 = Observe.Trace.fork t in
+      let f2 = Observe.Trace.fork t in
+      Observe.Trace.span f1 "task0" (fun () ->
+          Observe.Trace.event f1 "task0.event");
+      Observe.Trace.span f2 "task1" (fun () -> ());
+      Observe.Trace.merge t f1;
+      Observe.Trace.merge t f2);
+  check "merged shape: ids renumbered, roots re-parented" true
+    (trace_shape t
+    = [ (1, 0, "root"); (2, 1, "task0"); (3, 2, "task0.event"); (4, 1, "task1") ]);
+  check "fork of disabled is disabled" true
+    (not (Observe.Trace.active (Observe.Trace.fork Observe.Trace.disabled)))
+
+let test_metrics_atomic () =
+  let m = Observe.Metrics.make () in
+  let c = Observe.Metrics.counter m "hits" in
+  Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun () ->
+             for _ = 1 to 1000 do
+               Observe.Metrics.incr c
+             done)
+           (Array.make 8 ())));
+  check_int "no increments lost across domains" 8000
+    (Observe.Metrics.count c)
+
+let qcheck_cases =
+  [
+    prop_batch_deterministic;
+    prop_batch_deterministic_fuel;
+    prop_batch_deterministic_faults;
+    prop_compile_deterministic;
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ("determinism", List.map QCheck_alcotest.to_alcotest qcheck_cases);
+      ( "pool",
+        [
+          Alcotest.test_case "deterministic ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_pool_lowest_exception;
+          Alcotest.test_case "worker ids" `Quick test_pool_worker_ids;
+          Alcotest.test_case "inline 1-domain pool" `Quick test_pool_inline;
+          Alcotest.test_case "shutdown rejects submits" `Quick
+            test_pool_shutdown_rejects;
+        ] );
+      ( "shared-budget",
+        [
+          Alcotest.test_case "fuel tank cancels batch" `Quick
+            test_shared_fuel_cancels_batch;
+          Alcotest.test_case "explicit cancel" `Quick test_shared_cancel;
+        ] );
+      ( "observe",
+        [
+          Alcotest.test_case "trace fork/merge" `Quick test_trace_fork_merge;
+          Alcotest.test_case "atomic counters" `Quick test_metrics_atomic;
+        ] );
+    ]
