@@ -35,6 +35,104 @@ let or_die = function
     prerr_endline msg;
     exit exit_input_error
 
+(* ---------------------------------------------------------- plan cache *)
+
+(* Best-effort opening for `solve --plan-cache`: an unusable directory
+   degrades to uncached compilation with one structured warning and
+   must not change the exit code. `compile` (below) treats the same
+   failure as an input error, because storing the plan is its job. *)
+let open_plan_cache_opt = function
+  | None -> None
+  | Some dir -> (
+    match Minconn.Plan_cache.create ~dir () with
+    | Ok cache -> Some cache
+    | Error msg ->
+      Printf.eprintf
+        "minconn: warn=plan-cache-unusable dir=%s msg=%s (compiling \
+         uncached)\n\
+         %!"
+        dir msg;
+      None)
+
+let compile_cmd =
+  let run path cache_dir force jobs =
+    if jobs < 1 then begin
+      prerr_endline "minconn: error=invalid-jobs (need --jobs >= 1)";
+      exit exit_input_error
+    end;
+    let nb = or_die (load_bigraph path) in
+    let graph = nb.Mc_io.Parse.graph in
+    let hash = Minconn.Compiled.schema_hash graph in
+    let compile_with_jobs () =
+      if jobs > 1 then
+        Minconn.Pool.with_pool ~domains:jobs (fun pool ->
+            Minconn.Compiled.compile ~pool graph)
+      else Minconn.Compiled.compile graph
+    in
+    let status =
+      match cache_dir with
+      | None ->
+        ignore (compile_with_jobs () : Minconn.Compiled.t);
+        "uncached"
+      | Some dir -> (
+        match Minconn.Plan_cache.create ~dir () with
+        | Error msg ->
+          Printf.eprintf "minconn: error=plan-cache-unusable dir=%s msg=%s\n"
+            dir msg;
+          exit exit_input_error
+        | Ok cache -> (
+          match
+            if force then Error Minconn.Plan_cache.Absent
+            else Minconn.Plan_cache.find cache graph
+          with
+          | Ok _ -> "hit"
+          | Error miss -> (
+            let compiled = compile_with_jobs () in
+            match Minconn.Plan_cache.store cache compiled with
+            | Ok () ->
+              Printf.sprintf "stored reason=%s"
+                (Minconn.Plan_cache.miss_name miss)
+            | Error msg ->
+              Printf.eprintf
+                "minconn: error=plan-cache-store dir=%s msg=%s\n" dir msg;
+              exit exit_input_error)))
+    in
+    Printf.printf "minconn: schema=%s nodes=%d edges=%d cache=%s\n" hash
+      (Bigraph.n graph) (Bigraph.m graph) status
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let cache_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan-cache" ] ~docv:"DIR"
+          ~doc:"Store the compiled plan under $(docv) (created if \
+                missing), keyed by schema content hash, so later runs \
+                with --plan-cache skip classification entirely. An \
+                unusable directory is an input error (exit 4) here, \
+                unlike solve's best-effort degradation.")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:"Recompile and overwrite the entry even when the cache \
+                already holds a valid plan for this schema")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Compile on $(docv) domains (default 1); the stored plan \
+                is identical for every $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a schema into the persistent plan cache. Exit codes: \
+          0 compiled (or already cached), 4 input error (bad file or \
+          unusable --plan-cache directory).")
+    Term.(const run $ path $ cache_dir $ force $ jobs)
+
 (* ------------------------------------------------------------ classify *)
 
 let classify_cmd =
@@ -102,11 +200,12 @@ let parse_queries_file path =
    by severity, so a numeric max is the contract). With --jobs N > 1 a
    domain pool fans both the compile tasks and the queries out; the
    answers (and their printed order) are identical to --jobs 1. *)
-let run_batch nb ~queries ~jobs ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
-    ~flush_observability =
+let run_batch nb ~queries ~cache ~jobs ~timeout_ms ~fuel ~no_degrade ~trace
+    ~metrics ~flush_observability =
   let solve_batch pool =
-    let compiled =
-      Minconn.Compiled.compile ?pool ~trace ~metrics nb.Mc_io.Parse.graph
+    let compiled, _ =
+      Minconn.Plan_cache.find_or_compile ?pool ~trace ~metrics ?cache
+        nb.Mc_io.Parse.graph
     in
     let session =
       Minconn.Session.create ~degrade:(not no_degrade) ~trace ~metrics compiled
@@ -170,8 +269,8 @@ let run_batch nb ~queries ~jobs ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
   exit !worst
 
 let solve_cmd =
-  let run path terminals queries_file jobs timeout_ms fuel no_degrade
-      trace_file metrics_file =
+  let run path terminals queries_file cache_dir jobs timeout_ms fuel
+      no_degrade trace_file metrics_file =
     if jobs < 1 then begin
       prerr_endline "minconn: error=invalid-jobs (need --jobs >= 1)";
       exit exit_input_error
@@ -201,6 +300,7 @@ let solve_cmd =
       exit code
     in
     let nb = or_die (load_bigraph path) in
+    let cache = open_plan_cache_opt cache_dir in
     match (terminals, queries_file) with
     | [], None ->
       prerr_endline "minconn: error=missing-terminals (use -t or --queries)";
@@ -211,7 +311,7 @@ let solve_cmd =
     | [], Some qpath ->
       run_batch nb
         ~queries:(parse_queries_file qpath)
-        ~jobs ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
+        ~cache ~jobs ~timeout_ms ~fuel ~no_degrade ~trace ~metrics
         ~flush_observability
     | _ :: _, None -> (
       let p =
@@ -226,10 +326,26 @@ let solve_cmd =
         | None, None -> Minconn.Budget.unlimited
         | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
       in
-      match
-        Minconn.solve ~budget ~degrade:(not no_degrade) ~trace ~metrics
-          nb.Mc_io.Parse.graph ~p
-      with
+      let answer =
+        match cache with
+        | None ->
+          Minconn.solve ~budget ~degrade:(not no_degrade) ~trace ~metrics
+            nb.Mc_io.Parse.graph ~p
+        | Some _ ->
+          (* Warm path: the loaded plan replaces compilation, the
+             session's locate performs the same terminal validation
+             Minconn.solve does and returns the same typed errors. *)
+          let compiled, _ =
+            Minconn.Plan_cache.find_or_compile ~trace ~metrics ?cache
+              nb.Mc_io.Parse.graph
+          in
+          let session =
+            Minconn.Session.create ~budget ~degrade:(not no_degrade) ~trace
+              ~metrics compiled
+          in
+          Minconn.Session.query session ~p
+      in
+      match answer with
       | Error e ->
         Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
         die (Minconn.Errors.exit_code e)
@@ -260,6 +376,17 @@ let solve_cmd =
                 spaces; blank lines and # comments skipped). Prints a \
                 per-query status line and exits with the most severe \
                 per-query code.")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan-cache" ] ~docv:"DIR"
+          ~doc:"Reuse compiled plans from $(docv) (see the compile \
+                subcommand): a warm entry skips classification \
+                entirely, a cold run compiles and stores. An unusable \
+                directory degrades to uncached compilation with a \
+                structured stderr warning and does not affect the exit \
+                code.")
   in
   let jobs =
     Arg.(
@@ -312,8 +439,8 @@ let solve_cmd =
           5 budget exhausted with --no-degrade. With --queries, the \
           exit code is the most severe per-query code.")
     Term.(
-      const run $ path $ terminals $ queries_file $ jobs $ timeout_ms $ fuel
-      $ no_degrade $ trace_file $ metrics_file)
+      const run $ path $ terminals $ queries_file $ cache_dir $ jobs
+      $ timeout_ms $ fuel $ no_degrade $ trace_file $ metrics_file)
 
 let relations_cmd =
   let run path terminals =
@@ -607,6 +734,7 @@ let () =
        (Cmd.group info
           [
             classify_cmd;
+            compile_cmd;
             solve_cmd;
             relations_cmd;
             repair_cmd;

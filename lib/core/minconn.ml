@@ -37,6 +37,7 @@ module Errors = Runtime.Errors
 module Pool = Parallel.Pool
 module Compiled = Engine.Compiled
 module Session = Engine.Session
+module Plan_cache = Cache.Plan_cache
 
 type method_used = Engine.Session.method_used =
   | Used_forest

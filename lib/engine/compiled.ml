@@ -22,6 +22,50 @@ let csr t = t.csr
 let profile t = t.profile
 let n_components t = Array.length t.components
 
+(* ------------------------------------------------- serialization *)
+
+(* Canonical schema rendering: sizes plus the ascending edge list.
+   Bigraph.edges iterates left nodes in order and Iset ascending, so
+   two structurally equal graphs render identically whatever insertion
+   order built them. *)
+let schema_hash g =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "bipartite %d %d" (Bigraph.nl g) (Bigraph.nr g);
+  List.iter (fun (i, j) -> Printf.bprintf b " %d-%d" i j) (Bigraph.edges g);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Marshal-safety audit (pinned by test/test_cache.ml): every field of
+   [t] is first-order data — Bigraph/Ugraph are records over
+   [Iset.t array] (Set.Make(Int): plain AVL blocks), Csr is int
+   arrays, Classify.profile is bools plus Acyclicity.degree variants,
+   and each component holds an Iset, an int list and an
+   [(Algorithm1.prep, error) result] whose prep is {comp; w_order} —
+   no closures, lazies or custom blocks anywhere. The lazy compiled
+   handles live in Datamodel.Schema/Layered (outside [t]) and the
+   mutable solver scratch lives in Session, rebuilt by
+   [Session.create]; neither is ever marshaled. *)
+let to_bytes t = Marshal.to_string t [ Marshal.No_sharing ]
+
+(* Structural sanity net under the payload checksum: catches an
+   envelope that validated but framed bytes marshaled by an
+   incompatible build into a plausible-looking block. *)
+let coherent t =
+  let n = Ugraph.n t.u in
+  Bigraph.n t.graph = n && Csr.n t.csr = n
+  && Array.length t.comp_id = n
+  && (let k = Array.length t.components in
+      Array.for_all (fun c -> c >= 0 && c < k) t.comp_id)
+  && Array.for_all
+       (fun comp ->
+         Iset.for_all (fun v -> v >= 0 && v < n) comp.nodes
+         && List.for_all (fun v -> v >= 0 && v < n) comp.order)
+       t.components
+
+let of_bytes s =
+  match (Marshal.from_string s 0 : t) with
+  | exception _ -> None
+  | t -> if coherent t then Some t else None
+
 let compile ?pool ?(trace = Observe.Trace.disabled)
     ?(metrics = Observe.Metrics.disabled) graph =
   let u = Bigraph.ugraph graph in

@@ -53,3 +53,32 @@ val ugraph : t -> Ugraph.t
 val csr : t -> Csr.t
 val profile : t -> Classify.profile
 val n_components : t -> int
+
+(** {2 Serialization}
+
+    The compiled plan is deliberately first-order data — no closures,
+    lazies or custom blocks (the lazy compiled handles of
+    [Datamodel.Schema]/[Layered] wrap a plan, they are not inside it,
+    and the mutable solver scratch lives in {!Session}, rebuilt from
+    the plan by [Session.create]) — so [Marshal] round-trips it
+    exactly. {!Cache.Plan_cache} wraps these bytes in an integrity
+    envelope (format version, library commit, schema hash, payload
+    checksum) for the on-disk store; raw bytes carry no such
+    protection and must never be trusted across builds. *)
+
+val schema_hash : Bigraph.t -> string
+(** Hex digest of a canonical rendering (sizes + ascending edge list):
+    equal graphs hash equally regardless of construction order. The
+    plan cache keys entries by this hash. *)
+
+val to_bytes : t -> string
+(** Marshal the plan. Total on any plan [compile] can produce. *)
+
+val of_bytes : string -> t option
+(** Unmarshal and structurally sanity-check a {!to_bytes} payload
+    produced by the {e same} library build. [None] when unmarshaling
+    fails or the plan is incoherent (mismatched sizes, out-of-range
+    component ids); never raises on such inputs. Feeding it bytes that
+    did not come from {!to_bytes} of this build is undefined behaviour
+    — the plan cache's checksummed envelope exists to rule that out
+    before this function runs. *)

@@ -52,3 +52,35 @@ val with_derived : captured -> index:int -> (unit -> 'a) -> 'a
     from a stream mixed with [index].  Both are pure functions of
     [(c, index)], so a batch's injection behaviour is identical no
     matter how queries are spread over domains. *)
+
+(** {2 Mid-write crash injection}
+
+    For writers that claim crash atomicity by writing a temp file and
+    renaming it into place (the plan cache): the writer calls
+    {!check_write} between chunks, and an armed plan raises
+    {!Injected_crash} once the cumulative byte count crosses the
+    threshold — standing in for a process crash in the middle of the
+    write, strictly before the rename. Tests then assert that the
+    visible entry is absent or intact, never torn. Domain-local, like
+    the budget plans. *)
+
+exception Injected_crash
+(** The simulated crash. Writers must NOT clean up their temp file on
+    this exception — a real crash would not — so tests observe exactly
+    the on-disk state a kill at that byte offset would leave. *)
+
+val arm_write_crash : after_bytes:int -> unit
+(** Crash the next write that reaches [after_bytes] cumulative bytes
+    (0 crashes before the first chunk). Stays armed until
+    {!disarm_write_crash}. *)
+
+val disarm_write_crash : unit -> unit
+
+val write_crash_armed : unit -> bool
+
+val check_write : written:int -> unit
+(** Consulted by chunked writers with the running byte count; raises
+    {!Injected_crash} when an armed threshold is crossed. *)
+
+val with_write_crash : after_bytes:int -> (unit -> 'a) -> 'a
+(** Arm, run, always disarm (even on {!Injected_crash}). *)

@@ -1,0 +1,71 @@
+(* cache-smoke driver: compile a checked-in fixture twice into a
+   scratch plan cache (the second run must report a hit), then run the
+   batch entry point cold and warm against the same cache and require
+   byte-identical answers.  Usage:
+     cache_check CLI FIXTURE QUERIES C1_OUT C2_OUT COLD_OUT WARM_OUT
+   Exits nonzero with a diagnostic on any violation, failing the dune
+   rule (and hence runtest). *)
+
+let fail fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("cache-smoke: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  let cli, fixture, queries, c1_out, c2_out, cold_out, warm_out =
+    match Sys.argv with
+    | [| _; a; b; c; d; e; f; g |] -> (a, b, c, d, e, f, g)
+    | _ ->
+      fail "usage: cache_check CLI FIXTURE QUERIES C1_OUT C2_OUT COLD_OUT WARM_OUT"
+  in
+  let dir = "cache_smoke_store" in
+  (* Start from an empty cache even on a stale build dir. *)
+  (match Sys.readdir dir with
+  | names ->
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) names
+  | exception Sys_error _ -> ());
+  let sh cmd =
+    let code = Sys.command cmd in
+    if code <> 0 then fail "command exited %d: %s" code cmd
+  in
+  let compile stdout_to =
+    sh
+      (Printf.sprintf "%s compile %s --plan-cache %s > %s"
+         (Filename.quote cli) (Filename.quote fixture) (Filename.quote dir)
+         (Filename.quote stdout_to))
+  in
+  compile c1_out;
+  let first = read_file c1_out in
+  if not (contains first "cache=stored") then
+    fail "first compile did not store (got: %s)" (String.trim first);
+  compile c2_out;
+  let second = read_file c2_out in
+  if not (contains second "cache=hit") then
+    fail "second compile did not hit (got: %s)" (String.trim second);
+  let solve stdout_to =
+    sh
+      (Printf.sprintf "%s solve %s --queries %s --plan-cache %s > %s"
+         (Filename.quote cli) (Filename.quote fixture) (Filename.quote queries)
+         (Filename.quote dir) (Filename.quote stdout_to))
+  in
+  (* Empty the cache again so the first solve is a true cold miss
+     (compile + store) and the second is served from disk. *)
+  Array.iter
+    (fun n -> Sys.remove (Filename.concat dir n))
+    (Sys.readdir dir);
+  solve cold_out;
+  solve warm_out;
+  let cold = read_file cold_out in
+  if cold = "" then fail "batch produced no output";
+  if cold <> read_file warm_out then
+    fail "warm-cache answers differ from cold-cache answers"
