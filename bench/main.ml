@@ -1473,6 +1473,232 @@ let plancache_section ~trials ~max_n ~json_path () =
   write_bench_json ~section:"plancache" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
+(* Section: serve                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop load generator against an in-process server: K
+   keep-alive client threads each fire a fixed request budget at
+   [POST /solve] over a pool of pre-checked solvable terminal sets and
+   record per-request wall latency. Two profiles: [nominal] sits under
+   the admission cap (every connection admitted, unpressured answers),
+   and [overload] runs more clients than [max_inflight] with the
+   watermark at the floor — excess connects are shed with an immediate
+   503 (clients reconnect-loop, counting sheds) while admitted work
+   answers from cheaper rungs under pressure fuel. Entry rows carry
+   mean admitted latency as ns_per_op plus p50/p95/p99 and the
+   shed/degraded/error counters from the server's metrics. *)
+
+let serve_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+(* Terminal-set pool: random node subsets kept only when the in-process
+   solver accepts them, rendered through the same name table the
+   server resolves against — every benched request is a real answer,
+   never a 4xx. *)
+let serve_query_pool nb =
+  let g = nb.Mc_io.Parse.graph in
+  let n = Bigraph.n g in
+  let rng = trial ~section:"serve-queries" 1 in
+  let pool = ref [] in
+  let tries = ref 0 in
+  while List.length !pool < 4 && !tries < 500 do
+    incr tries;
+    let k = 2 + Workloads.Rng.int rng 3 in
+    let p = Iset.of_list (List.init k (fun _ -> Workloads.Rng.int rng n)) in
+    if Iset.cardinal p >= 2 then
+      match Minconn.solve g ~p with
+      | Ok _ ->
+        pool :=
+          String.concat " "
+            (List.map (Serve.Render.name_of nb) (Iset.elements p))
+          :: !pool
+      | Error _ -> ()
+  done;
+  if !pool = [] then (
+    Printf.eprintf "serve bench: no solvable terminal sets found\n";
+    exit 1);
+  Array.of_list !pool
+
+(* One client thread: keep-alive loop with reconnect-on-shed. Returns
+   (admitted latencies in ms, sheds, errors). *)
+let serve_client ~port ~reqs ~queries idx =
+  let lats = Array.make reqs 0.0 in
+  let n_ok = ref 0 and n_shed = ref 0 and n_err = ref 0 in
+  let conn = ref None in
+  let drop () =
+    (match !conn with
+    | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    conn := None
+  in
+  let get_conn () =
+    match !conn with
+    | Some c -> c
+    | None ->
+      let rec go tries =
+        match
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+           with e -> Unix.close fd; raise e);
+          fd
+        with
+        | fd -> fd
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _)
+          when tries > 0 ->
+          Unix.sleepf 0.002;
+          go (tries - 1)
+      in
+      let fd = go 200 in
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      let c = (fd, Serve.Http.conn fd) in
+      conn := Some c;
+      c
+  in
+  for r = 0 to reqs - 1 do
+    let fd, c = get_conn () in
+    let body = queries.((idx + r) mod Array.length queries) in
+    let req =
+      Printf.sprintf
+        "POST /solve HTTP/1.1\r\nHost: bench\r\nContent-Length: %d\r\n\r\n%s"
+        (String.length body) body
+    in
+    let t0 = Unix.gettimeofday () in
+    match
+      ignore (Unix.write_substring fd req 0 (String.length req) : int);
+      Serve.Http.read_response c
+    with
+    | Ok resp when resp.Serve.Http.code = 503 ->
+      incr n_shed;
+      drop ()
+    | Ok resp when resp.Serve.Http.code = 200 ->
+      lats.(!n_ok) <- (Unix.gettimeofday () -. t0) *. 1000.0;
+      incr n_ok
+    | Ok _ ->
+      incr n_err;
+      drop ()
+    | Error _ ->
+      incr n_err;
+      drop ()
+    | exception Unix.Unix_error _ ->
+      incr n_err;
+      drop ()
+  done;
+  drop ();
+  (Array.sub lats 0 !n_ok, !n_shed, !n_err)
+
+let serve_profile ~name ~clients ~reqs ~config nb rows =
+  let metrics = Observe.Metrics.make () in
+  let srv =
+    match Serve.Server.create ~config ~metrics nb with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "serve bench: %s\n" msg;
+      exit 1
+  in
+  let th = Serve.Server.start srv in
+  let port = Serve.Server.port srv in
+  let queries = serve_query_pool nb in
+  let out = Array.make clients ([||], 0, 0) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create (fun () -> out.(i) <- serve_client ~port ~reqs ~queries i) ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Serve.Server.stop srv;
+  Thread.join th;
+  let lats =
+    Array.concat (Array.to_list (Array.map (fun (l, _, _) -> l) out))
+  in
+  Array.sort compare lats;
+  let sheds = Array.fold_left (fun a (_, s, _) -> a + s) 0 out in
+  let errs = Array.fold_left (fun a (_, _, e) -> a + e) 0 out in
+  let mean_ms =
+    if Array.length lats = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 lats /. float_of_int (Array.length lats)
+  in
+  let counter n =
+    Option.value ~default:0
+      (List.assoc_opt n (Observe.Metrics.counters metrics))
+  in
+  let g = nb.Mc_io.Parse.graph in
+  Printf.printf
+    "%-10s clients=%d reqs=%d ok=%d mean=%.3fms p95=%.3fms shed=%d \
+     degraded=%d errors=%d\n\
+     %!"
+    name clients (clients * reqs) (Array.length lats) mean_ms
+    (serve_percentile lats 95.0) sheds
+    (counter "serve.degraded") errs;
+  rows :=
+    !rows
+    @ [
+        ( Printf.sprintf "serve/%s/c%d" name clients,
+          mean_ms *. 1e6,
+          [
+            ("impl", Observe.Json.Jstr name);
+            ("n", Observe.Json.Jnum (float_of_int (Bigraph.n g)));
+            ("m", Observe.Json.Jnum (float_of_int (Bigraph.m g)));
+            ("mean_ms", Observe.Json.Jnum mean_ms);
+            ("p50_ms", Observe.Json.Jnum (serve_percentile lats 50.0));
+            ("p95_ms", Observe.Json.Jnum (serve_percentile lats 95.0));
+            ("p99_ms", Observe.Json.Jnum (serve_percentile lats 99.0));
+            ("clients", Observe.Json.Jnum (float_of_int clients));
+            ("admitted", Observe.Json.Jnum (float_of_int (Array.length lats)));
+            ("shed", Observe.Json.Jnum (float_of_int sheds));
+            ( "degraded",
+              Observe.Json.Jnum (float_of_int (counter "serve.degraded")) );
+            ("errors", Observe.Json.Jnum (float_of_int errs));
+            ( "throughput_rps",
+              Observe.Json.Jnum
+                (if wall_s > 0.0 then float_of_int (Array.length lats) /. wall_s
+                 else 0.0) );
+          ] );
+      ]
+
+let serve_section ~trials ~max_n ~json_path () =
+  header "serve: closed-loop load over the network service (ms/request)";
+  (* A G(n,p) instance outside the structured classes, so pressure-mode
+     fuel actually forces the ladder down to cheaper rungs and the
+     overload profile's degraded count is non-trivial. *)
+  let n_right = min 24 (max 8 (max_n / 8)) in
+  let rng = trial ~section:"serve-graph" n_right in
+  let g = Workloads.Gen_bipartite.gnp rng ~nl:n_right ~nr:n_right ~p:0.3 in
+  let nb =
+    {
+      Mc_io.Parse.graph = g;
+      left_names = Array.init (Bigraph.nl g) (Printf.sprintf "L%d");
+      right_names = Array.init (Bigraph.nr g) (Printf.sprintf "R%d");
+    }
+  in
+  let reqs = 25 * trials in
+  let rows = ref [] in
+  serve_profile ~name:"nominal" ~clients:4 ~reqs
+    ~config:
+      {
+        Serve.Server.default_config with
+        Serve.Server.port = 0;
+        max_inflight = 16;
+        degrade_watermark = 16;
+      }
+    nb rows;
+  serve_profile ~name:"overload" ~clients:8 ~reqs
+    ~config:
+      {
+        Serve.Server.default_config with
+        Serve.Server.port = 0;
+        max_inflight = 2;
+        degrade_watermark = 1;
+        pressure_fuel = 16;
+      }
+    nb rows;
+  write_bench_json ~section:"serve" ~trials ~max_n ~path:json_path !rows
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let trials = ref 5 and max_n = ref 384 in
@@ -1482,6 +1708,7 @@ let () =
   let engine_json_path = ref "BENCH_engine.json" in
   let parallel_json_path = ref "BENCH_parallel.json" in
   let plancache_json_path = ref "BENCH_plancache.json" in
+  let serve_json_path = ref "BENCH_serve.json" in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--trials" :: v :: rest ->
@@ -1507,6 +1734,9 @@ let () =
       parse_args acc rest
     | "--plancache-json" :: v :: rest ->
       plancache_json_path := v;
+      parse_args acc rest
+    | "--serve-json" :: v :: rest ->
+      serve_json_path := v;
       parse_args acc rest
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -1561,6 +1791,10 @@ let () =
         fun () ->
           plancache_section ~trials:!trials ~max_n:!max_n
             ~json_path:!plancache_json_path () );
+      ( "serve",
+        fun () ->
+          serve_section ~trials:!trials ~max_n:!max_n
+            ~json_path:!serve_json_path () );
     ]
   in
   let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in

@@ -8,7 +8,6 @@
    demo      — the Fig. 1 walk-through *)
 
 open Cmdliner
-open Graphs
 open Bipartite
 open Steiner
 
@@ -148,18 +147,10 @@ let classify_cmd =
 
 (* --------------------------------------------------------------- solve *)
 
-let name_of nb v =
-  let module B = Bigraph in
-  match B.node_of_index nb.Mc_io.Parse.graph v with
-  | B.L i -> nb.Mc_io.Parse.left_names.(i)
-  | B.R j -> nb.Mc_io.Parse.right_names.(j)
-
-let print_tree nb (tree : Tree.t) =
-  Printf.printf "tree nodes (%d): %s\n" (Tree.node_count tree)
-    (String.concat ", " (List.map (name_of nb) (Iset.elements tree.Tree.nodes)));
-  List.iter
-    (fun (a, b) -> Printf.printf "  %s -- %s\n" (name_of nb a) (name_of nb b))
-    tree.Tree.edges
+(* The answer text is owned by Serve.Render so the network service and
+   this CLI stay byte-identical by construction (the serve-smoke rule
+   diffs one against the other). *)
+let print_tree nb (tree : Tree.t) = print_string (Serve.Render.tree_block nb tree)
 
 (* One structured stderr line per ladder event, greppable key=value. *)
 let report_provenance prov =
@@ -174,12 +165,7 @@ let report_provenance prov =
     (E.rung_name prov.D.ran)
     (D.guarantee_name prov.D.guarantee)
 
-let method_name = function
-  | Minconn.Used_forest -> "forest paths (exact and unique)"
-  | Minconn.Used_algorithm2 -> "Algorithm 2 (exact, Theorem 5)"
-  | Minconn.Used_exact_dp -> "Dreyfus-Wagner (exact)"
-  | Minconn.Used_elimination -> "nonredundant elimination (heuristic)"
-  | Minconn.Used_mst_approx -> "MST approximation (ratio <= 2)"
+let method_name = Serve.Render.method_name
 
 (* One query per non-empty, non-comment line; names separated by commas
    and/or whitespace. *)
@@ -573,6 +559,169 @@ let ask_cmd =
        ~doc:"Answer a universal-relation query against a database file")
     Term.(const run $ path $ query)
 
+(* --------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let run path host port max_inflight watermark shared_fuel pressure_fuel
+      timeout_ms read_timeout_ms max_body no_degrade cache_dir metrics_file
+      trace_file =
+    if max_inflight < 1 then begin
+      prerr_endline "minconn: error=invalid-max-inflight (need >= 1)";
+      exit exit_input_error
+    end;
+    let nb = or_die (load_bigraph path) in
+    let cache = open_plan_cache_opt cache_dir in
+    let metrics = Observe.Metrics.make () in
+    let trace =
+      match trace_file with
+      | None -> Observe.Trace.disabled
+      | Some _ -> Observe.Trace.make ()
+    in
+    let config =
+      {
+        Serve.Server.default_config with
+        host;
+        port;
+        max_inflight;
+        degrade_watermark =
+          (match watermark with
+          | Some w -> w
+          | None -> max 1 (3 * max_inflight / 4));
+        pressure_fuel;
+        shared_fuel;
+        request_timeout_ms = timeout_ms;
+        read_timeout_ms;
+        write_timeout_ms = read_timeout_ms;
+        max_body_bytes = max_body;
+        degrade = not no_degrade;
+      }
+    in
+    match Serve.Server.create ~config ?cache ~metrics ~trace nb with
+    | Error msg ->
+      Printf.eprintf "minconn: error=serve-bind msg=%s\n" msg;
+      exit exit_input_error
+    | Ok server ->
+      let stop _ = Serve.Server.stop server in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Printf.printf
+        "minconn: serving %s port=%d max-inflight=%d watermark=%d\n%!" path
+        (Serve.Server.port server) config.Serve.Server.max_inflight
+        config.Serve.Server.degrade_watermark;
+      Serve.Server.run server;
+      Option.iter
+        (fun p -> Observe.Export.write_metrics ~path:p metrics)
+        metrics_file;
+      Option.iter (fun p -> Observe.Export.write_trace ~path:p trace) trace_file;
+      let c name =
+        Option.value ~default:0 (Observe.Metrics.find_counter metrics name)
+      in
+      Printf.printf
+        "minconn: drained requests=%d shed=%d degraded=%d errors=%d\n%!"
+        (c "serve.requests") (c "serve.shed") (c "serve.degraded")
+        (c "serve.errors")
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen port (0 picks an ephemeral one; the bound port \
+                is printed on the startup line)")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 32
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission cap: beyond $(docv) concurrent connections, \
+                new ones get an immediate 503 overloaded response")
+  in
+  let watermark =
+    Arg.(
+      value & opt (some int) None
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:"Degradation watermark (default 3/4 of --max-inflight): \
+                above $(docv) in-flight connections, queries answer \
+                from cheaper ladder rungs under a small fuel budget \
+                and say so in X-Minconn-Pressure/-Rung headers")
+  in
+  let shared_fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shared-fuel" ] ~docv:"N"
+          ~doc:"Server-wide fuel tank all request budgets draw from; \
+                exhaustion cancels in-flight siblings at their next \
+                checkpoint")
+  in
+  let pressure_fuel =
+    Arg.(
+      value & opt int 64
+      & info [ "pressure-fuel" ] ~docv:"N"
+          ~doc:"Fuel for each query answered above the watermark")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "timeout" ] ~docv:"MS" ~doc:"Per-request wall-clock budget")
+  in
+  let read_timeout_ms =
+    Arg.(
+      value & opt int 10000
+      & info [ "io-timeout" ] ~docv:"MS"
+          ~doc:"Socket read/write deadline; stalled clients are reaped")
+  in
+  let max_body =
+    Arg.(
+      value & opt int (64 * 1024)
+      & info [ "max-body" ] ~docv:"BYTES"
+          ~doc:"Request body cap (413 beyond it)")
+  in
+  let no_degrade =
+    Arg.(
+      value & flag
+      & info [ "no-degrade" ]
+          ~doc:"Answer 504 on budget exhaustion instead of degrading \
+                down the ladder")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan-cache" ] ~docv:"DIR"
+          ~doc:"Reuse compiled plans from $(docv), exactly like solve")
+  in
+  let metrics_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the final metrics snapshot to $(docv) on drain \
+                (the same document GET /metrics serves live)")
+  in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record per-request spans and write the NDJSON stream \
+                to $(docv) on drain")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve minimal-connection queries over HTTP/1.1. POST /solve \
+          with a terminal set (names separated by commas or \
+          whitespace) answers the same bytes as solve --queries; GET \
+          /metrics, /trace and /healthz expose observability. SIGTERM \
+          or SIGINT drains gracefully: stop accepting, finish \
+          in-flight requests, flush artifacts.")
+    Term.(
+      const run $ path $ host $ port $ max_inflight $ watermark $ shared_fuel
+      $ pressure_fuel $ timeout_ms $ read_timeout_ms $ max_body $ no_degrade
+      $ cache_dir $ metrics_file $ trace_file)
+
 (* ------------------------------------------------------------ generate *)
 
 let generate_cmd =
@@ -717,7 +866,24 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc:"Run the Fig. 1 walk-through") Term.(const run $ const ())
 
+(* A reader that goes away (head, a broken pipe, a dead socket) must
+   end the run with a typed input-error exit, not a SIGPIPE kill: the
+   signal is ignored process-wide so write failures surface as
+   EPIPE/Sys_error, and the top-level handler below maps those to exit
+   code 4. *)
+let broken_pipe_exn = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+    (* Channel writes report strerror text; match the EPIPE phrasing. *)
+    let n = String.length msg and p = "Broken pipe" in
+    let k = String.length p in
+    let rec scan i = i + k <= n && (String.sub msg i k = p || scan (i + 1)) in
+    scan 0
+  | _ -> false
+
 let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   (match Sys.getenv_opt "MINCONN_DEBUG" with
   | Some _ ->
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -730,19 +896,32 @@ let () =
          (Ausiello-D'Atri-Moscarini, PODS 1985)"
   in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            classify_cmd;
-            compile_cmd;
-            solve_cmd;
-            relations_cmd;
-            repair_cmd;
-            interpretations_cmd;
-            ask_cmd;
-            dot_cmd;
-            hypergraph_cmd;
-            generate_cmd;
-            figures_cmd;
-            demo_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info
+            [
+              classify_cmd;
+              compile_cmd;
+              solve_cmd;
+              relations_cmd;
+              repair_cmd;
+              interpretations_cmd;
+              ask_cmd;
+              dot_cmd;
+              hypergraph_cmd;
+              generate_cmd;
+              figures_cmd;
+              serve_cmd;
+              demo_cmd;
+            ])
+     with e when broken_pipe_exn e ->
+       prerr_endline "minconn: error=broken-pipe (output closed)";
+       (* stdout's channel still buffers bytes that can never be
+          delivered; repoint fd 1 at /dev/null so the at_exit flush
+          succeeds instead of re-raising over our exit code. *)
+       (try
+          let dn = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+          Unix.dup2 dn Unix.stdout;
+          Unix.close dn
+        with Unix.Unix_error _ -> ());
+       exit_input_error)

@@ -215,6 +215,30 @@ let envelope ~commit ~hash payload =
 
 let write_chunk_bytes = 65536
 
+(* The rename that publishes an entry can fail transiently (EINTR from
+   a signal, EACCES/EBUSY-class races with scanners on some
+   filesystems) without the store being doomed: retry exactly once,
+   counted, before degrading to the uncached path. The
+   ["cache.rename"] Fault hook stands in for those failures in
+   tests. *)
+let transient_rename_failure = function
+  | Unix.Unix_error
+      ((Unix.EINTR | Unix.EACCES | Unix.EAGAIN | Unix.EBUSY | Unix.EPERM), _, _)
+    ->
+    true
+  | Fault.Injected_fault "cache.rename" -> true
+  | _ -> false
+
+let rename_entry ~metrics tmp final =
+  let attempt () =
+    Fault.check_op "cache.rename";
+    Unix.rename tmp final
+  in
+  try attempt ()
+  with e when transient_rename_failure e ->
+    Observe.Metrics.incr (Observe.Metrics.counter metrics "cache.store_retry");
+    attempt ()
+
 let store ?(trace = Observe.Trace.disabled)
     ?(metrics = Observe.Metrics.disabled) t compiled =
   Observe.Trace.span trace "plan_cache"
@@ -246,7 +270,7 @@ let store ?(trace = Observe.Trace.disabled)
           off := !off + k
         done;
         close_out oc;
-        Unix.rename tmp final
+        rename_entry ~metrics tmp final
       with
       | () -> Ok ()
       | exception Fault.Injected_crash ->
@@ -259,7 +283,13 @@ let store ?(trace = Observe.Trace.disabled)
       | exception Unix.Unix_error (e, _, _) ->
         close_out_noerr oc;
         (try Sys.remove tmp with Sys_error _ -> ());
-        Error (Unix.error_message e))
+        Error (Unix.error_message e)
+      | exception Fault.Injected_fault op ->
+        (* Second injected rename failure: the retry is spent, degrade
+           to uncached exactly like a real persistent failure. *)
+        close_out_noerr oc;
+        (try Sys.remove tmp with Sys_error _ -> ());
+        Error ("injected fault: " ^ op))
   in
   (match result with
   | Ok () ->

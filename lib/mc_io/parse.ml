@@ -11,6 +11,54 @@ type error = Runtime.Errors.t
 
 let pp_error = Runtime.Errors.pp
 
+(* Hard input caps, checked before tokenization: parsers sit on
+   attacker-reachable boundaries (CLI files, server request bodies),
+   so unbounded input must become a typed error before it becomes a
+   resident list of tokens. The limits are far above any legitimate
+   instance file while keeping the worst-case allocation proportional
+   to a small constant times the cap. *)
+let max_input_bytes = 8 * 1024 * 1024
+let max_line_bytes = 64 * 1024
+
+let oversized text =
+  let n = String.length text in
+  if n > max_input_bytes then
+    Some
+      (Runtime.Errors.Parse_error
+         {
+           line = 0;
+           col = 0;
+           msg =
+             Printf.sprintf "input exceeds %d bytes (%d)" max_input_bytes n;
+         })
+  else begin
+    (* One pass for the longest line; no splitting before the check. *)
+    let bad = ref None in
+    let line = ref 1 and start = ref 0 and i = ref 0 in
+    while !bad = None && !i <= n do
+      if !i = n || text.[!i] = '\n' then begin
+        if !i - !start > max_line_bytes then
+          bad :=
+            Some
+              (Runtime.Errors.Parse_error
+                 {
+                   line = !line;
+                   col = 0;
+                   msg =
+                     Printf.sprintf "line exceeds %d bytes (%d)"
+                       max_line_bytes (!i - !start);
+                 });
+        incr line;
+        start := !i + 1
+      end;
+      incr i
+    done;
+    !bad
+  end
+
+let guarded parse text =
+  match oversized text with Some e -> Error e | None -> parse text
+
 (* Every token carries its 1-based starting column so parse errors can
    point at the offending token, not just its line. A line is
    [(lineno, cols, tokens)] with [cols] parallel to [tokens]. *)
@@ -65,7 +113,7 @@ let index_of arr name =
   in
   go 0
 
-let bigraph_of_string text =
+let bigraph_of_string_unguarded text =
   match expect_header "bipartite" (tokenize text) with
   | Error e -> Error e
   | Ok lines ->
@@ -116,7 +164,7 @@ let bigraph_of_string text =
         | Ok graph -> Ok { graph; left_names; right_names }
       end)
 
-let schema_of_string text =
+let schema_of_string_unguarded text =
   match expect_header "schema" (tokenize text) with
   | Error e -> Error e
   | Ok lines ->
@@ -136,7 +184,7 @@ let schema_of_string text =
       try Ok (Datamodel.Schema.make rels)
       with Invalid_argument m -> err 0 0 "%s" m))
 
-let hypergraph_of_string text =
+let hypergraph_of_string_unguarded text =
   match expect_header "hypergraph" (tokenize text) with
   | Error e -> Error e
   | Ok lines ->
@@ -189,7 +237,7 @@ let hypergraph_of_string text =
                edge_names )
          with Invalid_argument m -> err 0 0 "%s" m))
 
-let database_of_string text =
+let database_of_string_unguarded text =
   match expect_header "database" (tokenize text) with
   | Error e -> Error e
   | Ok lines ->
@@ -243,7 +291,7 @@ let database_of_string text =
           Ok (Relalg.Database.make rels)
         with Invalid_argument m -> err 0 0 "%s" m)))
 
-let query_of_string text =
+let query_of_string_unguarded text =
   let words =
     String.split_on_char ' ' text
     |> List.concat_map (String.split_on_char ',')
@@ -273,6 +321,12 @@ let query_of_string text =
       | Error e -> Error e
       | Ok where -> Ok (objects, where))
   | _ -> err 1 0 "queries start with 'connect'"
+
+let bigraph_of_string = guarded bigraph_of_string_unguarded
+let schema_of_string = guarded schema_of_string_unguarded
+let hypergraph_of_string = guarded hypergraph_of_string_unguarded
+let database_of_string = guarded database_of_string_unguarded
+let query_of_string = guarded query_of_string_unguarded
 
 let name_set nb names =
   let module B = Bipartite.Bigraph in

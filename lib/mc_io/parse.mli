@@ -44,6 +44,17 @@ type error = Runtime.Errors.t
     name). Sharing the runtime taxonomy lets callers thread parse
     errors straight to the CLI error boundary. *)
 
+val max_input_bytes : int
+(** Hard cap on total input size for every [*_of_string] parser
+    (8 MiB). Larger inputs are rejected up front with a typed
+    [Parse_error] instead of being tokenized into memory — these
+    parsers sit on attacker-reachable boundaries (CLI files, server
+    request bodies). *)
+
+val max_line_bytes : int
+(** Hard cap on a single line (64 KiB); the typed rejection names the
+    offending line. *)
+
 val bigraph_of_string : string -> (named_bigraph, error) result
 
 val schema_of_string : string -> (Datamodel.Schema.t, error) result

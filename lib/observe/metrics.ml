@@ -106,6 +106,12 @@ let observe h v =
     Mutex.unlock h.hlock
   end
 
+let find_counter t name =
+  Mutex.lock t.rlock;
+  let c = List.find_opt (fun c -> c.cname = name) t.counters in
+  Mutex.unlock t.rlock;
+  Option.map (fun c -> Atomic.get c.count) c
+
 let counters t =
   List.rev_map (fun c -> (c.cname, Atomic.get c.count)) t.counters
 

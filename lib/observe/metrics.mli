@@ -23,6 +23,16 @@ val counter : t -> string -> counter
 val incr : ?by:int -> counter -> unit
 val count : counter -> int
 
+val find_counter : t -> string -> int option
+(** Read-only lookup: the counter's current value, or [None] when no
+    instrumentation site has created it yet. Unlike {!counter} this
+    never allocates a new instrument, so assertions and status
+    endpoints can probe without perturbing the registry. The serving
+    layer's canonical counter names are [serve.accepted], [serve.shed],
+    [serve.reaped], [serve.requests], [serve.degraded], [serve.errors],
+    [serve.epipe] and [serve.drain_forced], alongside the solver's
+    [engine.*], [budget.*], [rung.*] and [cache.*] families. *)
+
 val default_bounds : float array
 (** Powers-of-four upper bounds: 1, 4, 16, ... 16384. *)
 

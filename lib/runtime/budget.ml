@@ -122,8 +122,16 @@ module Shared = struct
     { has_fuel; sfuel = Atomic.make sfuel; sdeadline;
       scancel = Atomic.make None }
 
-  let view s =
-    { limited = true; deadline = s.sdeadline; fuel = max_int;
+  let view ?timeout_ms s =
+    let deadline =
+      match timeout_ms with
+      | None -> s.sdeadline
+      | Some ms ->
+        if ms < 0 then invalid_arg "Budget.Shared.view: negative timeout";
+        Float.min s.sdeadline
+          (Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+    in
+    { limited = true; deadline; fuel = max_int;
       tick = clock_stride; spent = 0; shared = Some s }
 
   let cancel s reason =

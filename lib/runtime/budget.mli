@@ -69,9 +69,13 @@ module Shared : sig
   (** Like {!val:make}, but the fuel is a pooled tank for the whole
       batch and the deadline is shared by every view. *)
 
-  val view : handle -> t
+  val view : ?timeout_ms:int -> handle -> t
   (** A fresh per-task budget drawing on the handle. Create one view
-      per task (views carry task-local stride/diagnostic state). *)
+      per task (views carry task-local stride/diagnostic state).
+      [timeout_ms] tightens this view's deadline to the earlier of the
+      handle's shared deadline and [now + timeout_ms] — the serving
+      pattern, where every request draws fuel from the server-wide
+      tank but also carries its own wall-clock cap. *)
 
   val cancel : handle -> Errors.stop_reason -> unit
   (** Stop the batch: every view raises the internal exhaustion signal

@@ -97,6 +97,53 @@ let with_derived c ~index f =
   set_plan (derive c ~index);
   Fun.protect ~finally:(fun () -> set_plan saved) f
 
+(* -------------------------------------------------------- op hooks *)
+
+(* Named lifecycle hooks for the serving and storage layers: a
+   component calls [check_op "serve.read"] (etc.) at each boundary it
+   promises to survive, and an armed hook raises [Injected_fault] for
+   that operation — standing in for a torn read, a failed rename, a
+   handler bug. Unlike the budget plans these are keyed by operation
+   name, so a test can poison exactly one boundary while the rest of
+   the process runs clean. The table is shared by every thread of the
+   arming domain on purpose: the server's handler threads must see the
+   plan the test armed. *)
+
+exception Injected_fault of string
+
+type op_plan = { mutable passes : int; mutable failures : int }
+
+let ops_key : (string, op_plan) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 7)
+
+let ops () = Domain.DLS.get ops_key
+
+let arm_op ~op ?(after = 0) ?(times = max_int) () =
+  if after < 0 then invalid_arg "Fault.arm_op: negative after";
+  if times < 0 then invalid_arg "Fault.arm_op: negative times";
+  Hashtbl.replace (ops ()) op { passes = after; failures = times }
+
+let disarm_op ~op = Hashtbl.remove (ops ()) op
+
+let disarm_ops () = Hashtbl.reset (ops ())
+
+let op_armed ~op = Hashtbl.mem (ops ()) op
+
+let check_op op =
+  match Hashtbl.find_opt (ops ()) op with
+  | None -> ()
+  | Some plan ->
+    if plan.passes > 0 then plan.passes <- plan.passes - 1
+    else if plan.failures > 0 then begin
+      plan.failures <- plan.failures - 1;
+      if plan.failures = 0 then Hashtbl.remove (ops ()) op;
+      raise (Injected_fault op)
+    end
+
+let with_op ~op ?after ?times f =
+  arm_op ~op ?after ?times ();
+  Fun.protect ~finally:(fun () -> disarm_op ~op) f
+
 (* --------------------------------------------------- write crashes *)
 
 (* Mid-write crash injection for writers that promise atomicity via

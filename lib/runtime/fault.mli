@@ -53,6 +53,43 @@ val with_derived : captured -> index:int -> (unit -> 'a) -> 'a
     [(c, index)], so a batch's injection behaviour is identical no
     matter how queries are spread over domains. *)
 
+(** {2 Named operation hooks}
+
+    Deterministic fault injection for lifecycle boundaries that are not
+    budget checkpoints: the serving layer consults
+    [check_op "serve.accept" / "serve.read" / "serve.write" /
+    "serve.handler"] around each connection operation, and the plan
+    cache consults [check_op "cache.rename"] before its atomic rename —
+    so tests can poison exactly one boundary (a torn read, a crashing
+    handler, a transient rename failure) and assert the survival
+    invariant of everything around it. Plans live in the arming
+    domain's table, which that domain's threads share: a server running
+    handler threads sees the plan the test armed. *)
+
+exception Injected_fault of string
+(** Raised by {!check_op} for an armed operation; carries the
+    operation name. *)
+
+val arm_op : op:string -> ?after:int -> ?times:int -> unit -> unit
+(** Let the next [after] (default 0) checks of [op] pass, then fail
+    the following [times] checks (default: every one until
+    {!disarm_op}) with [Injected_fault op]. A plan whose failure
+    count runs out disarms itself. *)
+
+val disarm_op : op:string -> unit
+
+val disarm_ops : unit -> unit
+(** Drop every armed operation plan in the calling domain. *)
+
+val op_armed : op:string -> bool
+
+val check_op : string -> unit
+(** Consulted by the instrumented boundary; raises {!Injected_fault}
+    when that operation's armed plan says so, advancing the plan. *)
+
+val with_op : op:string -> ?after:int -> ?times:int -> (unit -> 'a) -> 'a
+(** Arm [op], run, always disarm (even on exceptions). *)
+
 (** {2 Mid-write crash injection}
 
     For writers that claim crash atomicity by writing a temp file and

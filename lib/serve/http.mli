@@ -1,0 +1,84 @@
+(** The wire layer of the serving front-end: a minimal, dependency-free
+    HTTP/1.1 subset — request-line + headers + Content-Length bodies,
+    keep-alive, no chunked encoding, no TLS.
+
+    Every way a socket can misbehave maps to a typed error rather than
+    an exception: the handler loop in {!Server} branches on
+    {!read_error}/{!write_error} to decide which counter to bump and
+    whether the connection survives. Reads and writes pass through the
+    ["serve.read"] / ["serve.write"] {!Runtime.Fault} hooks, so tests
+    can make any I/O boundary fail on demand. *)
+
+type request = {
+  meth : string;  (** verb as sent, e.g. ["POST"] *)
+  path : string;  (** request target, e.g. ["/solve"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+  keep_alive : bool;
+      (** what the client asked for (HTTP/1.1 default on); the server
+          may still answer [Connection: close] *)
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+(** Why reading the next request off a connection failed. *)
+type read_error =
+  | Closed  (** clean EOF between requests — the client is done *)
+  | Read_timeout  (** the socket's receive deadline expired mid-request *)
+  | Torn of string
+      (** connection error, or EOF in the middle of a request — the
+          torn-client case *)
+  | Too_large of string  (** head or body over the configured cap *)
+  | Malformed of string  (** not HTTP we understand *)
+
+type write_error =
+  | Peer_closed  (** EPIPE/ECONNRESET: the client hung up on us *)
+  | Write_timeout  (** the socket's send deadline expired *)
+  | Write_failed of string  (** anything else, including injected faults *)
+
+val read_error_name : read_error -> string
+val write_error_name : write_error -> string
+
+type conn
+(** One client connection: the fd plus the buffer of bytes read but not
+    yet consumed (pipelined requests stay queued across calls). *)
+
+val conn : Unix.file_descr -> conn
+
+val read_request :
+  ?max_head_bytes:int ->
+  ?max_body_bytes:int ->
+  conn ->
+  (request, read_error) result
+(** Block (subject to the fd's [SO_RCVTIMEO]) until one full request is
+    buffered, or fail typed. [max_head_bytes] (default 16 KiB) caps the
+    request line + headers; [max_body_bytes] (default 64 KiB) caps the
+    declared [Content-Length] — an oversized declaration is rejected
+    before a single body byte is read. *)
+
+type client_response = {
+  code : int;
+  resp_headers : (string * string) list;  (** names lowercased *)
+  resp_body : string;
+}
+
+val resp_header : client_response -> string -> string option
+
+val read_response : conn -> (client_response, read_error) result
+(** Client side of the same framing — what the tests, the serve-smoke
+    check and the bench load generator use to talk to the server. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+val reason : int -> string
+(** Reason phrase for the status codes the server emits. *)
+
+val write_response :
+  conn -> keep_alive:bool -> response -> (unit, write_error) result
+(** Serialize with [Content-Length] and [Connection: keep-alive|close]
+    appended, and write it out whole (subject to [SO_SNDTIMEO]). *)

@@ -1,0 +1,33 @@
+module Bigraph = Bipartite.Bigraph
+module Tree = Steiner.Tree
+module Iset = Graphs.Iset
+
+let name_of (nb : Mc_io.Parse.named_bigraph) v =
+  match Bigraph.node_of_index nb.Mc_io.Parse.graph v with
+  | Bigraph.L i -> nb.Mc_io.Parse.left_names.(i)
+  | Bigraph.R j -> nb.Mc_io.Parse.right_names.(j)
+
+let method_name = function
+  | Engine.Session.Used_forest -> "forest paths (exact and unique)"
+  | Engine.Session.Used_algorithm2 -> "Algorithm 2 (exact, Theorem 5)"
+  | Engine.Session.Used_exact_dp -> "Dreyfus-Wagner (exact)"
+  | Engine.Session.Used_elimination -> "nonredundant elimination (heuristic)"
+  | Engine.Session.Used_mst_approx -> "MST approximation (ratio <= 2)"
+
+let tree_block nb (tree : Tree.t) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "tree nodes (%d): %s\n" (Tree.node_count tree)
+    (String.concat ", " (List.map (name_of nb) (Iset.elements tree.Tree.nodes)));
+  List.iter
+    (fun (x, y) -> Printf.bprintf b "  %s -- %s\n" (name_of nb x) (name_of nb y))
+    tree.Tree.edges;
+  Buffer.contents b
+
+let solution_block nb (s : Engine.Session.solution) =
+  Printf.sprintf "method: %s\n%s"
+    (method_name s.Engine.Session.method_used)
+    (tree_block nb s.Engine.Session.tree)
+
+let error_line e = "error: " ^ Runtime.Errors.to_string e ^ "\n"
+
+let unknown_terminal_line n = Printf.sprintf "error: unknown terminal %s\n" n

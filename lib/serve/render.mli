@@ -1,0 +1,29 @@
+(** Canonical text rendering of solver answers.
+
+    The serving layer and the CLI batch mode answer the same queries;
+    their outputs must be byte-identical so `serve` responses can be
+    diffed against `solve --queries` blocks (the serve-smoke rule does
+    exactly that). This module is the single owner of that format —
+    the CLI delegates to it rather than keeping a private copy. *)
+
+val name_of : Mc_io.Parse.named_bigraph -> int -> string
+(** The display name of a bigraph node by underlying index. *)
+
+val method_name : Engine.Session.method_used -> string
+(** Human description of the solver that produced an answer, e.g.
+    ["Dreyfus-Wagner (exact)"]. *)
+
+val tree_block : Mc_io.Parse.named_bigraph -> Steiner.Tree.t -> string
+(** The [tree nodes (k): a, b, c] header plus one indented
+    [  a -- b] line per edge, each line newline-terminated. *)
+
+val solution_block :
+  Mc_io.Parse.named_bigraph -> Engine.Session.solution -> string
+(** [method: ...] line followed by {!tree_block} — the exact per-query
+    success block the CLI batch mode prints. *)
+
+val error_line : Runtime.Errors.t -> string
+(** [error: ...] line matching the CLI batch failure block. *)
+
+val unknown_terminal_line : string -> string
+(** [error: unknown terminal NAME] line. *)

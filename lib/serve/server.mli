@@ -1,0 +1,92 @@
+(** Overload-hardened network service over the session engine.
+
+    One listener thread accepts connections; each admitted connection
+    gets its own handler thread and its own {!Engine.Session} over the
+    shared compiled plan, so concurrent requests never share solver
+    scratch. The robustness contract:
+
+    - {b Admission control}: the kernel accept queue is bounded by
+      [backlog]; beyond [max_inflight] concurrent connections the
+      listener answers [503] with [X-Minconn-Error: overloaded]
+      immediately — the request is never read, so shedding stays fast
+      under any load.
+    - {b Deadlines}: every admitted socket carries receive/send
+      deadlines ([read_timeout_ms]/[write_timeout_ms]); a stalled
+      client is reaped with [408] (counted as [serve.reaped]). Every
+      query runs under a budget capped at [request_timeout_ms], drawn
+      as a view of the server-wide {!Runtime.Budget.Shared} tank when
+      [shared_fuel] is set.
+    - {b Graceful degradation}: above [degrade_watermark] in-flight
+      connections, queries run on a small fuel budget
+      ([pressure_fuel]) so the ladder answers from cheaper rungs;
+      responses carry the provenance ([X-Minconn-Rung],
+      [X-Minconn-Guarantee], [X-Minconn-Degraded], and
+      [X-Minconn-Pressure: high] when shed to that mode).
+    - {b Fault-injectable lifecycle}: accept, read, write and handler
+      boundaries consult the {!Runtime.Fault} op hooks
+      (["serve.accept"], ["serve.read"], ["serve.write"],
+      ["serve.handler"]); any injected or real failure is absorbed by
+      that connection alone — the listener keeps serving.
+    - {b Graceful drain}: {!stop} (wired to SIGTERM/SIGINT by the CLI)
+      stops accepting, lets in-flight requests finish until
+      [drain_timeout_ms], then force-shuts stragglers (counted as
+      [serve.drain_forced]); {!run} then returns so the caller can
+      flush metrics and traces.
+
+    Endpoints: [POST /solve] (body = one terminal set, names separated
+    by commas/whitespace; answer is byte-identical to the CLI batch
+    block for the same query), [GET /metrics] (minconn-metrics/1 JSON),
+    [GET /trace] (NDJSON span stream), [GET /healthz]. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  backlog : int;  (** kernel accept-queue bound *)
+  max_inflight : int;  (** admission cap on concurrent connections *)
+  degrade_watermark : int;
+      (** in-flight count above which queries run in pressure mode *)
+  pressure_fuel : int;  (** fuel for pressure-mode query budgets *)
+  request_timeout_ms : int;  (** per-query wall-clock budget *)
+  read_timeout_ms : int;  (** socket receive deadline *)
+  write_timeout_ms : int;  (** socket send deadline *)
+  max_body_bytes : int;  (** request body cap (413 beyond it) *)
+  shared_fuel : int option;
+      (** when set, a server-wide fuel tank all request budgets draw
+          from (see {!Runtime.Budget.Shared}) *)
+  degrade : bool;
+      (** ladder fall-through on exhaustion (default); [false] turns
+          budget exhaustion into [504] *)
+  drain_timeout_ms : int;  (** grace period for in-flight work on stop *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?cache:Cache.Plan_cache.t ->
+  ?metrics:Observe.Metrics.t ->
+  ?trace:Observe.Trace.t ->
+  Mc_io.Parse.named_bigraph ->
+  (t, string) result
+(** Compile (or load from [cache]) the schema once, bind and listen.
+    [Error msg] on bind/listen failure. Also ignores SIGPIPE
+    process-wide: a dead peer must surface as a typed write error,
+    never a fatal signal. *)
+
+val port : t -> int
+(** The bound port (useful with [config.port = 0]). *)
+
+val inflight : t -> int
+val metrics : t -> Observe.Metrics.t
+
+val run : t -> unit
+(** Serve until {!stop}, then drain and release the sockets. Runs the
+    accept loop in the calling thread. *)
+
+val start : t -> Thread.t
+(** [run] on a background thread (tests and the bench harness). *)
+
+val stop : t -> unit
+(** Begin graceful drain; idempotent, safe from a signal handler. *)

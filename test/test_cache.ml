@@ -328,6 +328,42 @@ let test_miss_absent () =
   with_cache @@ fun _dir cache ->
   check_string "no entry yet" "absent" (find_miss cache g)
 
+(* The publish rename survives one transient failure — injected via
+   the ["cache.rename"] Fault hook — retried exactly once, counted as
+   [cache.store_retry], with the entry visible afterwards. Two
+   consecutive failures spend the retry and degrade to the uncached
+   path: typed error, no published entry, no temp residue. *)
+let test_rename_retry () =
+  let g, _ = test_graph () in
+  with_cache @@ fun dir cache ->
+  let metrics = Observe.Metrics.make () in
+  Runtime.Fault.with_op ~op:"cache.rename" ~times:1 (fun () ->
+      match PC.store ~metrics cache (Minconn.Compiled.compile g) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "store with one rename fault: %s" m);
+  check "retry counted once" true
+    (List.assoc_opt "cache.store_retry" (Observe.Metrics.counters metrics)
+    = Some 1);
+  ignore (find_ok cache g : Minconn.Compiled.t);
+  let g2 =
+    Workloads.Gen_bipartite.gnp (Workloads.Rng.make ~seed:77) ~nl:6 ~nr:6
+      ~p:0.4
+  in
+  let metrics2 = Observe.Metrics.make () in
+  Runtime.Fault.with_op ~op:"cache.rename" ~times:2 (fun () ->
+      match PC.store ~metrics:metrics2 cache (Minconn.Compiled.compile g2) with
+      | Error msg ->
+        check_string "typed degrade" "injected fault: cache.rename" msg
+      | Ok () -> Alcotest.fail "store must degrade once the retry is spent");
+  check "spent retry still counted" true
+    (List.assoc_opt "cache.store_retry" (Observe.Metrics.counters metrics2)
+    = Some 1);
+  check_string "no entry published" "absent" (find_miss cache g2);
+  check "no temp residue" true
+    (Array.for_all
+       (fun n -> not (Filename.check_suffix n ".tmp"))
+       (Sys.readdir dir))
+
 (* ------------------------------------------------- crash atomicity *)
 
 let test_crash_before_first_byte () =
@@ -614,7 +650,12 @@ let () =
           Alcotest.test_case "hit refreshes recency" `Quick
             test_lru_hit_refreshes;
         ] );
-      ("metrics", [ Alcotest.test_case "counters" `Quick test_counters ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "rename retried once and counted" `Quick
+            test_rename_retry;
+        ] );
       ( "marshal-safety",
         [
           Alcotest.test_case "every figure graph saves" `Quick

@@ -192,6 +192,62 @@ let suite =
         layered_ok && er_ok);
   ]
 
+(* ---------------------------------------------- oversized inputs *)
+
+(* The byte caps sit in front of every parser: a document over
+   [max_input_bytes] and a line over [max_line_bytes] must both come
+   back as a positioned [Parse_error] before any tokenization, never
+   an allocation blow-up or an exception. *)
+
+let expect_parse_error ~what parse text =
+  match parse text with
+  | Error (Errors.Parse_error _) -> ()
+  | Ok _ -> Alcotest.failf "%s: oversized input accepted" what
+  | Error e ->
+    Alcotest.failf "%s: wrong error class: %s" what (Errors.to_string e)
+
+let test_total_cap () =
+  (* One byte over the total cap; every entry point must refuse it. *)
+  let text = String.make (Mc_io.Parse.max_input_bytes + 1) 'a' in
+  expect_parse_error ~what:"bigraph" Mc_io.Parse.bigraph_of_string text;
+  expect_parse_error ~what:"schema" Mc_io.Parse.schema_of_string text;
+  expect_parse_error ~what:"hypergraph" Mc_io.Parse.hypergraph_of_string text;
+  expect_parse_error ~what:"database" Mc_io.Parse.database_of_string text;
+  expect_parse_error ~what:"query" Mc_io.Parse.query_of_string text;
+  (* At the cap exactly the guard stands aside (the parser then fails
+     on content, but with an ordinary positioned error). *)
+  match Mc_io.Parse.bigraph_of_string (String.make 64 'a') with
+  | Error (Errors.Parse_error { line; _ }) ->
+    Alcotest.(check bool) "in-cap error is positioned" true (line >= 1)
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error e -> Alcotest.failf "wrong error class: %s" (Errors.to_string e)
+
+let oversized_line_case =
+  QCheck2.Test.make ~count:20
+    ~name:"oversized line rejected with its line number" seed_gen (fun seed ->
+      let rng = Workloads.Rng.make ~seed in
+      let base = random_bigraph_text rng in
+      let prefix = Workloads.Rng.int rng 5 in
+      let pad = String.make (Mc_io.Parse.max_line_bytes + 1) 'x' in
+      let b = Buffer.create (String.length pad + String.length base + 64) in
+      for i = 1 to prefix do
+        Buffer.add_string b (Printf.sprintf "pad line %d\n" i)
+      done;
+      Buffer.add_string b pad;
+      Buffer.add_char b '\n';
+      Buffer.add_string b base;
+      match Mc_io.Parse.bigraph_of_string (Buffer.contents b) with
+      | Error (Errors.Parse_error { line; _ }) -> line = prefix + 1
+      | Ok _ | Error _ -> false)
+
 let () =
   Alcotest.run "parse_fuzz"
-    [ ("fuzz", List.map QCheck_alcotest.to_alcotest suite) ]
+    [
+      ("fuzz", List.map QCheck_alcotest.to_alcotest suite);
+      ( "oversized",
+        [
+          Alcotest.test_case "total byte cap refuses every parser" `Quick
+            test_total_cap;
+          QCheck_alcotest.to_alcotest oversized_line_case;
+        ] );
+    ]
