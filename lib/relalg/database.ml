@@ -37,17 +37,25 @@ let scheme_hypergraph t =
   Hypergraph.create ~n_nodes family
 
 let semijoin_reduce t ~order =
-  List.fold_left
-    (fun db (rname, sname) ->
-      let r = relation db rname and s = relation db sname in
-      let reduced = Ops.semijoin r s in
-      {
-        rels =
-          List.map
-            (fun (n, rel) -> if n = rname then (n, reduced) else (n, rel))
-            db.rels;
-      })
-    t order
+  (* Index the relations once: a reducer pass touches every tree edge,
+     and rebuilding the association list per semi-join made the whole
+     pass quadratic in the number of relations. *)
+  let rels = Array.of_list t.rels in
+  let by_name = Hashtbl.create (Array.length rels * 2) in
+  Array.iteri (fun i (n, _) -> Hashtbl.replace by_name n i) rels;
+  let index n =
+    match Hashtbl.find_opt by_name n with
+    | Some i -> i
+    | None -> raise Not_found
+  in
+  List.iter
+    (fun (rname, sname) ->
+      let ri = index rname and si = index sname in
+      let n, r = rels.(ri) in
+      let _, s = rels.(si) in
+      rels.(ri) <- (n, Ops.semijoin r s))
+    order;
+  { rels = Array.to_list rels }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

@@ -7,10 +7,10 @@ let plan db =
   | Some jt -> Acyclic jt
   | None -> Naive_fallback
 
-let rel_at db i = snd (List.nth (Database.relations db) i)
-let name_at db i = fst (List.nth (Database.relations db) i)
-
 let full_reducer db jt =
+  (* Snapshot names into an array once: [List.nth] per reducer step
+     made both passes quadratic in the number of relations. *)
+  let names = Array.of_list (Database.names db) in
   let pre = Join_tree.preorder jt in
   let upward =
     (* children before parents: reverse preorder; semijoin parent by
@@ -18,13 +18,13 @@ let full_reducer db jt =
     List.rev pre
     |> List.filter_map (fun i ->
            let p = jt.Join_tree.parent.(i) in
-           if p >= 0 then Some (name_at db p, name_at db i) else None)
+           if p >= 0 then Some (names.(p), names.(i)) else None)
   in
   let downward =
     pre
     |> List.filter_map (fun i ->
            let p = jt.Join_tree.parent.(i) in
-           if p >= 0 then Some (name_at db i, name_at db p) else None)
+           if p >= 0 then Some (names.(i), names.(p)) else None)
   in
   Database.semijoin_reduce db ~order:(upward @ downward)
 
@@ -48,17 +48,17 @@ let evaluate db ~output =
   | Naive_fallback -> evaluate_naive db ~output
   | Acyclic jt ->
     let reduced = full_reducer db jt in
+    let rels = Array.of_list (Database.relations reduced) in
+    let rel_at i = snd rels.(i) in
     let rec eval_subtree i =
-      let rel = rel_at reduced i in
+      let rel = rel_at i in
       let joined =
         List.fold_left
           (fun acc child -> Ops.natural_join acc (eval_subtree child))
           rel (Join_tree.children jt i)
       in
       let p = jt.Join_tree.parent.(i) in
-      let keep_above =
-        if p < 0 then [] else Relation.attrs (rel_at reduced p)
-      in
+      let keep_above = if p < 0 then [] else Relation.attrs (rel_at p) in
       let keep =
         List.filter
           (fun a -> List.mem a output || List.mem a keep_above)
