@@ -402,9 +402,15 @@ let table_y1 () =
         let r = f () in
         (r, (Sys.time () -. t0) *. 1000.0)
       in
-      let ry, ty = time (fun () -> Relalg.Yannakakis.evaluate db ~output) in
+      let ok_rel = function
+        | Ok r -> r
+        | Error e -> failwith (Runtime.Errors.to_string e)
+      in
+      let ry, ty =
+        time (fun () -> ok_rel (Relalg.Yannakakis.evaluate db ~output))
+      in
       let rn, tn =
-        time (fun () -> Relalg.Yannakakis.evaluate_naive db ~output)
+        time (fun () -> ok_rel (Relalg.Yannakakis.evaluate_naive db ~output))
       in
       Printf.printf
         "rows/rel=%-5d yannakakis %8.2f ms   naive %8.2f ms   agree=%b\n"
@@ -1473,6 +1479,93 @@ let plancache_section ~trials ~max_n ~json_path () =
   write_bench_json ~section:"plancache" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
+(* Section: relalg                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput of the columnar Yannakakis engine against the naive
+   left-fold join, on chain databases whose last relation is 95%
+   dangling tuples — the workload where a semijoin reducer pays: the
+   reducer prunes the doomed mass up front, while the naive fold
+   grows its intermediates by the full rows/domain factor before the
+   final join discards them. Both set and bag semantics run the same
+   ladder; extras record total input tuples and tuples/sec so the
+   trajectory file doubles as a throughput record. At the largest size
+   Yannakakis must be strictly faster than naive per semantics
+   ("NOT FASTER" otherwise). *)
+
+let relalg_section ~trials ~max_n ~json_path () =
+  header "relalg: Yannakakis vs naive join on dangling chains";
+  Printf.printf "%-10s %-12s %6s %9s %11s %14s\n" "semantics" "impl" "n"
+    "tuples" "mean ms" "tuples/sec";
+  let rows = ref [] in
+  let outcomes = ref [] in
+  let length = 5 in
+  let ok_rel = function
+    | Ok r -> r
+    | Error e -> failwith (Runtime.Errors.to_string e)
+  in
+  let bench ~sem_name ~semantics n =
+    let rows_per_rel = n * 128 in
+    (* rows/domain = 4 gives every naive intermediate a 4x growth
+       factor; dangling 0.95 means the reducer kills most of that mass
+       before any join runs. *)
+    let domain = max 2 (rows_per_rel / 4) in
+    let rng = trial ~section:("relalg-" ^ sem_name) n in
+    let db =
+      Workloads.Gen_db.chain ~semantics ~dangling:0.95 rng ~length
+        ~rows:rows_per_rel ~domain
+    in
+    let tuples = Relalg.Database.total_tuples db in
+    let output = [ "a0"; Printf.sprintf "a%d" length ] in
+    let section = "relalg-" ^ sem_name in
+    let run impl eval =
+      let ms =
+        time_mean ~trials (fun () ->
+            ignore (Sys.opaque_identity (ok_rel (eval db ~output))))
+      in
+      let tps =
+        if ms > 0.0 then float_of_int tuples /. (ms /. 1000.0) else 0.0
+      in
+      Printf.printf "%-10s %-12s %6d %9d %11.3f %14.0f\n%!" sem_name impl n
+        tuples ms tps;
+      let name, ns, extras = timed_entry ~section ~impl ~n ~m:tuples ~ms in
+      rows :=
+        !rows @ [ (name, ns, extras @ [ ("tuples_per_sec", Observe.Json.Jnum tps) ]) ];
+      ms
+    in
+    let ry = ok_rel (Relalg.Yannakakis.evaluate db ~output) in
+    let rn = ok_rel (Relalg.Yannakakis.evaluate_naive db ~output) in
+    if not (Relalg.Relation.equal ry rn) then begin
+      Printf.eprintf "relalg: yannakakis/naive DISAGREE at %s n=%d\n" sem_name
+        n;
+      exit 1
+    end;
+    let t_y = run "yannakakis" (fun db ~output ->
+        Relalg.Yannakakis.evaluate db ~output)
+    in
+    let t_n = run "naive" (fun db ~output ->
+        Relalg.Yannakakis.evaluate_naive db ~output)
+    in
+    outcomes := (sem_name, n, t_y, t_n) :: !outcomes
+  in
+  let sizes = List.filter (fun x -> x <= max_n) [ 64; 128; 256 ] in
+  List.iter (fun n -> bench ~sem_name:"set" ~semantics:Relalg.Relation.Set n)
+    sizes;
+  List.iter (fun n -> bench ~sem_name:"bag" ~semantics:Relalg.Relation.Bag n)
+    sizes;
+  let top = List.fold_left max 0 sizes in
+  List.iter
+    (fun (sem_name, n, t_y, t_n) ->
+      if n = top then
+        let ratio = if t_n > 0.0 then t_y /. t_n else 1.0 in
+        Printf.printf
+          "-- %-4s n=%-4d yannakakis/naive = %.4f (must be < 1)%s\n" sem_name
+          n ratio
+          (if t_y < t_n then "" else "  NOT FASTER"))
+    (List.rev !outcomes);
+  write_bench_json ~section:"relalg" ~trials ~max_n ~path:json_path !rows
+
+(* ------------------------------------------------------------------ *)
 (* Section: serve                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1708,6 +1801,7 @@ let () =
   let engine_json_path = ref "BENCH_engine.json" in
   let parallel_json_path = ref "BENCH_parallel.json" in
   let plancache_json_path = ref "BENCH_plancache.json" in
+  let relalg_json_path = ref "BENCH_relalg.json" in
   let serve_json_path = ref "BENCH_serve.json" in
   let rec parse_args acc = function
     | [] -> List.rev acc
@@ -1734,6 +1828,9 @@ let () =
       parse_args acc rest
     | "--plancache-json" :: v :: rest ->
       plancache_json_path := v;
+      parse_args acc rest
+    | "--relalg-json" :: v :: rest ->
+      relalg_json_path := v;
       parse_args acc rest
     | "--serve-json" :: v :: rest ->
       serve_json_path := v;
@@ -1791,6 +1888,10 @@ let () =
         fun () ->
           plancache_section ~trials:!trials ~max_n:!max_n
             ~json_path:!plancache_json_path () );
+      ( "relalg",
+        fun () ->
+          relalg_section ~trials:!trials ~max_n:!max_n
+            ~json_path:!relalg_json_path () );
       ( "serve",
         fun () ->
           serve_section ~trials:!trials ~max_n:!max_n

@@ -559,6 +559,291 @@ let ask_cmd =
        ~doc:"Answer a universal-relation query against a database file")
     Term.(const run $ path $ query)
 
+(* --------------------------------------------------------------- query *)
+
+(* The full pipeline the paper motivates, end to end: a populated
+   database gives the scheme, Algorithm 1 finds the minimal conceptual
+   connection for the named objects, and the Yannakakis engine executes
+   that connection over the actual tuples. *)
+let query_cmd =
+  let run db_file gen size rows domain dangling seed bag terminals naive
+      limit timeout_ms fuel trace_file metrics_file =
+    let trace =
+      match trace_file with
+      | None -> Observe.Trace.disabled
+      | Some _ -> Observe.Trace.make ()
+    in
+    let metrics =
+      match metrics_file with
+      | None -> Observe.Metrics.disabled
+      | Some _ -> Observe.Metrics.make ()
+    in
+    let flush_observability () =
+      Option.iter
+        (fun path -> Observe.Export.write_trace ~path trace)
+        trace_file;
+      Option.iter
+        (fun path -> Observe.Export.write_metrics ~path metrics)
+        metrics_file
+    in
+    let die code =
+      flush_observability ();
+      exit code
+    in
+    let semantics =
+      if bag then Relalg.Relation.Bag else Relalg.Relation.Set
+    in
+    let db =
+      match (db_file, gen) with
+      | Some _, Some _ ->
+        prerr_endline "minconn: error=conflicting-options (DBFILE and --gen)";
+        die exit_input_error
+      | None, None ->
+        prerr_endline "minconn: error=missing-database (give DBFILE or --gen)";
+        die exit_input_error
+      | Some path, None -> (
+        match Mc_io.Parse.database_of_string ~semantics (read_file path) with
+        | Ok db -> db
+        | Error e ->
+          prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
+          die exit_input_error)
+      | None, Some family -> (
+        let rng = Workloads.Rng.make ~seed in
+        match family with
+        | "chain" ->
+          Workloads.Gen_db.chain ~semantics ~dangling rng ~length:size ~rows
+            ~domain
+        | "acyclic" -> Workloads.Gen_db.acyclic ~semantics rng
+                         ~n_relations:size ~rows
+        | f ->
+          Printf.eprintf
+            "minconn: error=unknown-family name=%s (chain|acyclic)\n" f;
+          die exit_input_error)
+    in
+    if terminals = [] then begin
+      prerr_endline "minconn: error=missing-terminals (use -t)";
+      die exit_input_error
+    end;
+    let schema =
+      match Datamodel.Schema.of_database db with
+      | s -> s
+      | exception Invalid_argument msg ->
+        Printf.eprintf "minconn: error=bad-schema msg=%s\n" msg;
+        die exit_input_error
+    in
+    let p =
+      let indices =
+        List.map
+          (fun name ->
+            match Datamodel.Schema.object_index schema name with
+            | Some i -> i
+            | None ->
+              Printf.eprintf "minconn: error=unknown-terminal name=%s\n" name;
+              die exit_input_error)
+          terminals
+      in
+      Graphs.Iset.of_list indices
+    in
+    let budget =
+      match (timeout_ms, fuel) with
+      | None, None -> Minconn.Budget.unlimited
+      | _ -> Minconn.Budget.make ?timeout_ms ?fuel ()
+    in
+    let session =
+      Minconn.Session.create ~budget ~trace ~metrics
+        (Datamodel.Schema.compiled schema)
+    in
+    match Minconn.Session.query_relations session ~p with
+    | Error e ->
+      Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
+      die (Minconn.Errors.exit_code e)
+    | Ok r -> (
+      let c =
+        Datamodel.Query.connection_of_tree schema ~query:p
+          r.Steiner.Algorithm1.tree ~optimal:true
+      in
+      let output =
+        List.filter (Datamodel.Schema.is_attribute schema) terminals
+      in
+      let chosen =
+        List.filter
+          (fun (n, _) -> List.mem n c.Datamodel.Query.relations_used)
+          (Relalg.Database.relations db)
+      in
+      let chosen =
+        (* A single-attribute query can yield a one-node tree with no
+           relation: fall back to any relation holding the attributes. *)
+        if chosen <> [] then chosen
+        else
+          match
+            List.find_opt
+              (fun (_, rel) -> List.for_all (Relalg.Relation.mem_attr rel) output)
+              (Relalg.Database.relations db)
+          with
+          | Some rel -> [ rel ]
+          | None -> []
+      in
+      let sub = Relalg.Database.make chosen in
+      Printf.printf "db: relations=%d tuples=%d semantics=%s\n"
+        (Relalg.Database.n_relations db)
+        (Relalg.Database.total_tuples db)
+        (if bag then "bag" else "set");
+      Printf.printf "connection: relations=%s auxiliary=%s\n"
+        (String.concat "," c.Datamodel.Query.relations_used)
+        (match c.Datamodel.Query.auxiliary with
+        | [] -> "-"
+        | aux -> String.concat "," aux);
+      let plan_name =
+        if naive then "naive-join"
+        else
+          match Relalg.Yannakakis.plan sub with
+          | Relalg.Yannakakis.Acyclic _ -> "yannakakis"
+          | Relalg.Yannakakis.Naive_fallback -> "naive-fallback"
+      in
+      Printf.printf "method: %s\n" plan_name;
+      let ctx = Relalg.Exec.make ~budget ~trace ~metrics () in
+      let t0 = Unix.gettimeofday () in
+      let answer =
+        if naive then Relalg.Yannakakis.evaluate_naive ~ctx sub ~output
+        else Relalg.Yannakakis.evaluate ~ctx sub ~output
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      match answer with
+      | Error e ->
+        Printf.eprintf "minconn: error=%s\n" (Minconn.Errors.to_string e);
+        die (Minconn.Errors.exit_code e)
+      | Ok result ->
+        let n = Relalg.Relation.cardinality result in
+        let attrs = Relalg.Relation.attrs result in
+        if attrs <> [] then begin
+          Printf.printf "result: %s\n" (String.concat " | " attrs);
+          let shown = min n limit in
+          for i = 0 to shown - 1 do
+            Printf.printf "  %s\n"
+              (String.concat " | " (Relalg.Relation.row result i))
+          done;
+          if shown < n then
+            Printf.printf "(%d tuples, showing %d)\n" n shown
+          else Printf.printf "(%d tuples)\n" n
+        end
+        else
+          (* Boolean query: no output attributes, only a cardinality
+             (the witness count under bag semantics, 0/1 under set). *)
+          Printf.printf "result: %s (%d)\n"
+            (if n > 0 then "yes" else "no")
+            n;
+        (* Timing goes to stderr so stdout stays deterministic. *)
+        Printf.eprintf "minconn: query-ms=%.1f\n" ms;
+        flush_observability ())
+  in
+  let db_file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DBFILE")
+  in
+  let gen =
+    Arg.(
+      value & opt (some string) None
+      & info [ "gen" ] ~docv:"FAMILY"
+          ~doc:"Generate the database instead of reading $(i,DBFILE): \
+                $(b,chain) (path schema r_i(a_i,a_i+1)) or $(b,acyclic) \
+                (random alpha-acyclic scheme).")
+  in
+  let size =
+    Arg.(
+      value & opt int 5
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Generator: number of relations (chain length)")
+  in
+  let rows =
+    Arg.(
+      value & opt int 1000
+      & info [ "rows" ] ~docv:"R"
+          ~doc:"Generator: tuples per relation before dedup")
+  in
+  let domain =
+    Arg.(
+      value & opt int 1000
+      & info [ "domain" ] ~docv:"D"
+          ~doc:"Generator: value dictionary size (chain only)")
+  in
+  let dangling =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dangling" ] ~docv:"F"
+          ~doc:"Generator (chain): fraction of the last relation's \
+                tuples made dangling — unjoinable values a semijoin \
+                reducer prunes up front")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed")
+  in
+  let bag =
+    Arg.(
+      value & flag
+      & info [ "bag" ]
+          ~doc:"Bag semantics: duplicate rows keep their multiplicities \
+                through joins and projections (default: set semantics, \
+                duplicates collapse)")
+  in
+  let terminals =
+    Arg.(
+      value & opt (list string) []
+      & info [ "t"; "terminals" ] ~docv:"NAMES"
+          ~doc:"Comma-separated object names (attributes and/or \
+                relations) to connect; attribute terminals become the \
+                output columns, in order")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:"Skip the semijoin reducer and evaluate with a plain \
+                left-fold join (baseline for comparison)")
+  in
+  let limit =
+    Arg.(
+      value & opt int 10
+      & info [ "limit" ] ~docv:"K"
+          ~doc:"Print at most $(docv) result rows (default 10)")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout" ] ~docv:"MS" ~doc:"Wall-clock budget in ms")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Fuel budget: rows scanned/emitted by the executor count \
+                against it")
+  in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write an NDJSON span stream (relalg.reduce, relalg.join) \
+                to $(docv)")
+  in
+  let metrics_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot (relalg.* counters) to \
+                $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer a conjunctive query end to end: compile the database's \
+          scheme, find the minimal conceptual connection for the \
+          terminals (Algorithm 1), and execute it with the Yannakakis \
+          engine. Exit codes: 0 answered, 3 disconnected, 4 input \
+          error, 5 budget exhausted.")
+    Term.(
+      const run $ db_file $ gen $ size $ rows $ domain $ dangling $ seed
+      $ bag $ terminals $ naive $ limit $ timeout_ms $ fuel $ trace_file
+      $ metrics_file)
+
 (* --------------------------------------------------------------- serve *)
 
 let serve_cmd =
@@ -907,6 +1192,7 @@ let () =
               repair_cmd;
               interpretations_cmd;
               ask_cmd;
+              query_cmd;
               dot_cmd;
               hypergraph_cmd;
               generate_cmd;

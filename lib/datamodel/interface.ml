@@ -38,6 +38,19 @@ let evaluate_connection ?(where = []) db (c : Query.connection) ~output =
      can be projected; the connection guarantees they all are. *)
   Relalg.Yannakakis.evaluate sub ~output
 
+(* First occurrence wins: a query naming an attribute twice is one
+   output column, not a typed-error round trip. *)
+let dedup_output output =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun a ->
+      if Hashtbl.mem seen a then false
+      else begin
+        Hashtbl.add seen a ();
+        true
+      end)
+    output
+
 let answer ?strategy ?(where = []) db ~query =
   let schema = Schema.of_database db in
   let objects =
@@ -45,13 +58,17 @@ let answer ?strategy ?(where = []) db ~query =
   in
   match Query.minimal_connection ?strategy schema ~objects with
   | Error e -> Error e
-  | Ok c ->
-    let output = List.filter (Schema.is_attribute schema) query in
-    Ok { connection = c; result = evaluate_connection ~where db c ~output }
+  | Ok c -> (
+    let output = dedup_output (List.filter (Schema.is_attribute schema) query) in
+    match evaluate_connection ~where db c ~output with
+    | Ok result -> Ok { connection = c; result }
+    | Error e -> Error (Query.Not_applicable (Runtime.Errors.to_string e)))
 
 let interpretations ?k db ~query =
   let schema = Schema.of_database db in
-  let output = List.filter (Schema.is_attribute schema) query in
+  let output = dedup_output (List.filter (Schema.is_attribute schema) query) in
   Query.interpretations ?k schema ~objects:query
-  |> List.map (fun c ->
-         { connection = c; result = evaluate_connection db c ~output })
+  |> List.filter_map (fun c ->
+         match evaluate_connection db c ~output with
+         | Ok result -> Some { connection = c; result }
+         | Error _ -> None)

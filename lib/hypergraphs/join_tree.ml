@@ -50,14 +50,33 @@ let verify t =
       Traverse.connects ~within:(Iset.range q) forest occ)
     (Hypergraph.covered_nodes h)
 
+let children_arrays t =
+  (* One counting pass instead of a parent-array scan per node. *)
+  let q = Array.length t.parent in
+  let counts = Array.make q 0 in
+  Array.iter (fun p -> if p >= 0 then counts.(p) <- counts.(p) + 1) t.parent;
+  let out = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make q 0 in
+  Array.iteri
+    (fun j p ->
+      if p >= 0 then begin
+        out.(p).(fill.(p)) <- j;
+        fill.(p) <- fill.(p) + 1
+      end)
+    t.parent;
+  out
+
 let preorder t =
   let acc = ref [] in
+  let kids = children_arrays t in
   let rec visit i =
     acc := i :: !acc;
-    List.iter visit (children t i)
+    Array.iter visit kids.(i)
   in
   List.iter visit (roots t);
   List.rev !acc
+
+let order t = Array.of_list (preorder t)
 
 let rip_holds h order =
   let rec go seen prefix_union = function

@@ -22,6 +22,11 @@ val verify : t -> bool
 
 val children : t -> int -> int list
 
+val children_arrays : t -> int array array
+(** [children_arrays t].(i) lists [i]'s children in increasing index
+    order; the whole structure is built in one O(q) pass, where a
+    {!children} call per node would be quadratic. *)
+
 val roots : t -> int list
 
 val separator : t -> int -> Iset.t
@@ -30,6 +35,10 @@ val separator : t -> int -> Iset.t
 val preorder : t -> int list
 (** Roots first, then children, depth-first. On a coherent join tree of
     a connected hypergraph this is a running-intersection ordering. *)
+
+val order : t -> int array
+(** {!preorder} as a flat array, for index-driven passes: iterating it
+    backwards visits every node before its parent. *)
 
 val rip_holds : Hypergraph.t -> int list -> bool
 (** [rip_holds h order] checks the running intersection property of an

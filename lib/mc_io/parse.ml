@@ -237,7 +237,7 @@ let hypergraph_of_string_unguarded text =
                edge_names )
          with Invalid_argument m -> err 0 0 "%s" m))
 
-let database_of_string_unguarded text =
+let database_of_string_unguarded ?semantics text =
   match expect_header "database" (tokenize text) with
   | Error e -> Error e
   | Ok lines ->
@@ -285,7 +285,7 @@ let database_of_string_unguarded text =
                   |> List.filter_map (fun (_, _, n, values) ->
                          if n = name then Some values else None)
                 in
-                (name, Relalg.Relation.make ~attrs data))
+                (name, Relalg.Relation.make ?semantics ~attrs data))
               schemas
           in
           Ok (Relalg.Database.make rels)
@@ -325,7 +325,8 @@ let query_of_string_unguarded text =
 let bigraph_of_string = guarded bigraph_of_string_unguarded
 let schema_of_string = guarded schema_of_string_unguarded
 let hypergraph_of_string = guarded hypergraph_of_string_unguarded
-let database_of_string = guarded database_of_string_unguarded
+let database_of_string ?semantics text =
+  guarded (database_of_string_unguarded ?semantics) text
 let query_of_string = guarded query_of_string_unguarded
 
 let name_set nb names =

@@ -63,14 +63,19 @@ val hypergraph_of_string :
   string -> (Hypergraph.t * string array * string array, error) result
 (** Returns the hypergraph plus node names and edge names. *)
 
-val database_of_string : string -> (Relalg.Database.t, error) result
+val database_of_string :
+  ?semantics:Relalg.Relation.semantics ->
+  string ->
+  (Relalg.Database.t, error) result
 (** Populated database files:
     {v
     database
     relation works  emp dept
     row works  alice toys
     row works  bob   books
-    v} *)
+    v}
+    Under the default [Set] semantics duplicate [row] lines collapse;
+    pass [~semantics:Bag] to preserve multiplicities. *)
 
 val query_of_string :
   string -> (string list * (string * string) list, error) result

@@ -1,21 +1,58 @@
 open Graphs
 open Hypergraphs
 
-type t = { rels : (string * Relation.t) list }
+type t = {
+  rels : (string * Relation.t) array;
+  by_name : (string, int) Hashtbl.t;
+  sem : Relation.semantics;
+}
+
+let build rels =
+  let by_name = Hashtbl.create (max 8 (2 * Array.length rels)) in
+  Array.iteri (fun i (n, _) -> Hashtbl.replace by_name n i) rels;
+  let sem =
+    if Array.exists (fun (_, r) -> Relation.semantics r = Relation.Bag) rels
+    then Relation.Bag
+    else Relation.Set
+  in
+  { rels; by_name; sem }
 
 let make rels =
   let names = List.map fst rels in
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Database.make: duplicate relation name";
-  { rels }
+  (* Mixed semantics would make query results depend on operator
+     order (where dedup happens); require one mode per database. *)
+  let sems =
+    List.sort_uniq compare (List.map (fun (_, r) -> Relation.semantics r) rels)
+  in
+  if List.length sems > 1 then
+    invalid_arg "Database.make: mixed set/bag semantics";
+  build (Array.of_list rels)
 
-let relation t name = List.assoc name t.rels
-let names t = List.map fst t.rels
-let relations t = t.rels
+let semantics t = t.sem
+
+let relation t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> snd t.rels.(i)
+  | None -> raise Not_found
+
+let names t = List.map fst (Array.to_list t.rels)
+let relations t = Array.to_list t.rels
+let n_relations t = Array.length t.rels
+let relation_at t i = t.rels.(i)
+let to_array t = Array.copy t.rels
+
+let of_array rels =
+  (* Trusted fast path for the reducer: same names, same semantics,
+     only the relations' contents changed. *)
+  build rels
 
 let attributes t =
   List.sort_uniq compare
-    (List.concat_map (fun (_, r) -> Relation.attrs r) t.rels)
+    (List.concat_map
+       (fun (_, r) -> Relation.attrs r)
+       (Array.to_list t.rels))
 
 let attribute_index t a =
   let rec go i = function
@@ -30,21 +67,23 @@ let scheme_hypergraph t =
   let n_nodes = List.length attrs in
   let index a = attribute_index t a in
   let family =
-    List.map
-      (fun (_, r) -> Iset.of_list (List.map index (Relation.attrs r)))
-      t.rels
+    Array.to_list
+      (Array.map
+         (fun (_, r) -> Iset.of_list (List.map index (Relation.attrs r)))
+         t.rels)
   in
   Hypergraph.create ~n_nodes family
 
-let semijoin_reduce t ~order =
+let total_tuples t =
+  Array.fold_left (fun acc (_, r) -> acc + Relation.cardinality r) 0 t.rels
+
+let semijoin_reduce ?ctx t ~order =
   (* Index the relations once: a reducer pass touches every tree edge,
      and rebuilding the association list per semi-join made the whole
      pass quadratic in the number of relations. *)
-  let rels = Array.of_list t.rels in
-  let by_name = Hashtbl.create (Array.length rels * 2) in
-  Array.iteri (fun i (n, _) -> Hashtbl.replace by_name n i) rels;
+  let rels = Array.copy t.rels in
   let index n =
-    match Hashtbl.find_opt by_name n with
+    match Hashtbl.find_opt t.by_name n with
     | Some i -> i
     | None -> raise Not_found
   in
@@ -53,13 +92,13 @@ let semijoin_reduce t ~order =
       let ri = index rname and si = index sname in
       let n, r = rels.(ri) in
       let _, s = rels.(si) in
-      rels.(ri) <- (n, Ops.semijoin r s))
+      rels.(ri) <- (n, Ops.semijoin ?ctx r s))
     order;
-  { rels = Array.to_list rels }
+  build rels
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  List.iter
+  Array.iter
     (fun (n, r) ->
       Format.fprintf ppf "%s(%s): %d tuples@," n
         (String.concat ", " (Relation.attrs r))

@@ -1,19 +1,38 @@
 (** A database: named relations plus the scheme-level view as a
-    hypergraph over its attributes. *)
+    hypergraph over its attributes. Relations are indexed once into an
+    array with a name table, so lookup is O(1) and the semi-join
+    reducer updates slots in place. *)
 
 open Hypergraphs
 
 type t
 
 val make : (string * Relation.t) list -> t
-(** Raises [Invalid_argument] on duplicate relation names. *)
+(** Raises [Invalid_argument] on a duplicate relation name or on mixed
+    set/bag semantics — a database is wholly one mode, so query
+    results cannot depend on where dedup happens. *)
+
+val semantics : t -> Relation.semantics
+(** [Set] for the empty database. *)
 
 val relation : t -> string -> Relation.t
-(** Raises [Not_found]. *)
+(** O(1); raises [Not_found]. *)
 
 val names : t -> string list
 
 val relations : t -> (string * Relation.t) list
+
+val n_relations : t -> int
+
+val relation_at : t -> int -> string * Relation.t
+(** O(1), in {!names} order. *)
+
+val to_array : t -> (string * Relation.t) array
+(** A fresh copy; callers may mutate it. *)
+
+val of_array : (string * Relation.t) array -> t
+(** Trusted constructor for operator pipelines: skips the duplicate
+    and mixed-semantics validation that {!make} performs. *)
 
 val attributes : t -> string list
 (** Sorted union of all relations' attributes. *)
@@ -25,7 +44,9 @@ val scheme_hypergraph : t -> Hypergraph.t
 (** Nodes are attributes (in {!attributes} order), one hyperedge per
     relation (in {!names} order). *)
 
-val semijoin_reduce : t -> order:(string * string) list -> t
+val total_tuples : t -> int
+
+val semijoin_reduce : ?ctx:Exec.t -> t -> order:(string * string) list -> t
 (** Apply a semijoin program: for each pair [(r, s)] in order, replace
     [r] by [r ⋉ s]. *)
 

@@ -1,0 +1,48 @@
+type t = {
+  budget : Runtime.Budget.t;
+  trace : Observe.Trace.t;
+  metrics : Observe.Metrics.t;
+  rows_scanned : Observe.Metrics.counter;
+  rows_emitted : Observe.Metrics.counter;
+  semijoins : Observe.Metrics.counter;
+  joins : Observe.Metrics.counter;
+  projections : Observe.Metrics.counter;
+  mutable unchecked : int;  (* rows processed since the last checkpoint *)
+}
+
+let stride = 256
+
+let make ?(budget = Runtime.Budget.unlimited) ?(trace = Observe.Trace.disabled)
+    ?(metrics = Observe.Metrics.disabled) () =
+  {
+    budget;
+    trace;
+    metrics;
+    rows_scanned = Observe.Metrics.counter metrics "relalg.rows_scanned";
+    rows_emitted = Observe.Metrics.counter metrics "relalg.rows_emitted";
+    semijoins = Observe.Metrics.counter metrics "relalg.semijoins";
+    joins = Observe.Metrics.counter metrics "relalg.joins";
+    projections = Observe.Metrics.counter metrics "relalg.projections";
+    unchecked = 0;
+  }
+
+let default = make ()
+
+let budget t = t.budget
+let trace t = t.trace
+let metrics t = t.metrics
+
+let tick t n =
+  t.unchecked <- t.unchecked + n;
+  if t.unchecked >= stride then begin
+    t.unchecked <- 0;
+    Runtime.Budget.check t.budget
+  end
+
+let scanned t n = Observe.Metrics.incr ~by:n t.rows_scanned
+let emitted t n = Observe.Metrics.incr ~by:n t.rows_emitted
+let rows_scanned t = t.rows_scanned
+let rows_emitted t = t.rows_emitted
+let semijoins t = t.semijoins
+let joins t = t.joins
+let projections t = t.projections

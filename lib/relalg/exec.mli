@@ -1,0 +1,49 @@
+(** Execution context threaded through the relational operators.
+
+    Bundles the runtime budget (cooperative cancellation, checked once
+    per {!stride} rows so the hot loops stay branch-cheap), a trace for
+    the [relalg.reduce]/[relalg.join] spans, and the metrics registry
+    backing the [relalg.*] counter family: [relalg.rows_scanned],
+    [relalg.rows_emitted], [relalg.semijoins], [relalg.joins],
+    [relalg.projections]. The {!default} context is fully inert —
+    unlimited budget, disabled trace and metrics — so operator call
+    sites pay nothing when nobody is watching. *)
+
+type t
+
+val make :
+  ?budget:Runtime.Budget.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
+  unit ->
+  t
+
+val default : t
+(** Unlimited budget, disabled trace/metrics. *)
+
+val budget : t -> Runtime.Budget.t
+val trace : t -> Observe.Trace.t
+val metrics : t -> Observe.Metrics.t
+
+val stride : int
+(** Rows between cooperative budget checkpoints. *)
+
+val tick : t -> int -> unit
+(** [tick t n]: account [n] processed rows toward the next budget
+    checkpoint; raises the internal exhaustion signal (caught by
+    [Budget.protect] at the {!Yannakakis} boundary) when the budget is
+    gone. *)
+
+val scanned : t -> int -> unit
+(** Bump [relalg.rows_scanned]. *)
+
+val emitted : t -> int -> unit
+(** Bump [relalg.rows_emitted]. *)
+
+(**/**)
+
+val rows_scanned : t -> Observe.Metrics.counter
+val rows_emitted : t -> Observe.Metrics.counter
+val semijoins : t -> Observe.Metrics.counter
+val joins : t -> Observe.Metrics.counter
+val projections : t -> Observe.Metrics.counter

@@ -1,66 +1,347 @@
-let project r keep =
+(* Relational operators over the columnar layout: every key is one or
+   more dictionary codes, so hashing and equality work on ints. Before
+   a hash build, the probe-side dictionary is remapped into the
+   build-side code space once (one array lookup per distinct value);
+   rows whose value has no code on the other side can never match and
+   are dropped without ever being hashed. Output relations share the
+   input dictionaries and only allocate fresh row data. *)
+
+module I = Relation.Internal
+
+(* Growable int vector: preallocated scratch for gathered row ids. *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create cap = { data = Array.make (max 4 cap) 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let bigger = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 bigger 0 v.len;
+      v.data <- bigger
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let len v = v.len
+  let get v i = v.data.(i)
+end
+
+(* Fresh data arrays for [cols], keeping only the rows listed in [ids]
+   (dictionaries shared with the source columns). *)
+let gather_cols ctx ~sem ~names cols ids =
+  let n = Ivec.len ids in
+  let out =
+    Array.map
+      (fun (c : I.col) ->
+        let data = Array.make n 0 in
+        let src = c.I.data in
+        for i = 0 to n - 1 do
+          data.(i) <- src.(Ivec.get ids i)
+        done;
+        { c with I.data })
+      cols
+  in
+  Exec.tick ctx n;
+  I.of_cols sem ~names ~cols:out ~n_rows:n
+
+(* [remap target source]: source-code -> target-code, -1 when the
+   value has no code in [target]. *)
+let remap (target : I.col) (source : I.col) =
+  Array.map
+    (fun v ->
+      match Hashtbl.find_opt target.I.index v with Some c -> c | None -> -1)
+    source.I.dict
+
+(* Common attributes as (left column, right column) index pairs, in
+   the left relation's column order. *)
+let common_columns a b =
+  let bnames = I.names b in
+  let pairs = ref [] in
+  Array.iteri
+    (fun ja name ->
+      match
+        let n = Array.length bnames in
+        let rec go j =
+          if j >= n then None
+          else if bnames.(j) = name then Some j
+          else go (j + 1)
+        in
+        go 0
+      with
+      | Some jb -> pairs := (ja, jb) :: !pairs
+      | None -> ())
+    (I.names a);
+  Array.of_list (List.rev !pairs)
+
+let project ?(ctx = Exec.default) r keep =
   List.iter
     (fun a ->
       if not (Relation.mem_attr r a) then
         invalid_arg ("Ops.project: unknown attribute " ^ a))
     keep;
-  let rows =
-    List.map (fun row -> List.map (Relation.value r row) keep) (Relation.tuples r)
+  if List.length (List.sort_uniq compare keep) <> List.length keep then
+    invalid_arg "Ops.project: duplicate attribute";
+  Observe.Metrics.incr (Exec.projections ctx);
+  let n = Relation.cardinality r in
+  let src = I.cols r in
+  let idx =
+    Array.of_list
+      (List.map (fun a -> Option.get (Relation.col_index r a)) keep)
   in
-  Relation.make ~attrs:keep rows
+  let names = Array.of_list keep in
+  let picked = Array.map (fun j -> src.(j)) idx in
+  let k = Array.length idx in
+  match Relation.semantics r with
+  | Relation.Bag ->
+    (* Bag projection keeps every row: pure column selection, no row
+       data copied at all. *)
+    I.of_cols Relation.Bag ~names ~cols:picked ~n_rows:n
+  | Relation.Set ->
+    if k = Array.length (I.names r) then
+      (* Permutation of all columns: rows are already distinct. *)
+      I.of_cols Relation.Set ~names ~cols:picked ~n_rows:n
+    else if k = 0 then
+      (* The boolean projection: nonempty -> one empty tuple. *)
+      I.of_cols Relation.Set ~names:[||] ~cols:[||]
+        ~n_rows:(if n = 0 then 0 else 1)
+    else begin
+      Exec.scanned ctx n;
+      let ids = Ivec.create (min (max n 4) 4096) in
+      (if k = 1 then begin
+         (* Single kept column: the dictionary bounds the code space,
+            so a bool array replaces the hash table. *)
+         let data = picked.(0).I.data in
+         let seen = Array.make (max 1 (Array.length picked.(0).I.dict)) false in
+         for i = 0 to n - 1 do
+           Exec.tick ctx 1;
+           let c = data.(i) in
+           if not seen.(c) then begin
+             seen.(c) <- true;
+             Ivec.push ids i
+           end
+         done
+       end
+       else begin
+         let seen = Hashtbl.create (2 * n) in
+         let key = Array.make k 0 in
+         for i = 0 to n - 1 do
+           Exec.tick ctx 1;
+           for j = 0 to k - 1 do
+             key.(j) <- picked.(j).I.data.(i)
+           done;
+           if not (Hashtbl.mem seen key) then begin
+             Hashtbl.add seen (Array.copy key) ();
+             Ivec.push ids i
+           end
+         done
+       end);
+      Exec.emitted ctx (Ivec.len ids);
+      gather_cols ctx ~sem:Relation.Set ~names picked ids
+    end
 
-let select_eq r ~attr ~value =
-  let rows =
-    List.filter (fun row -> Relation.value r row attr = value) (Relation.tuples r)
-  in
-  Relation.make ~attrs:(Relation.attrs r) rows
+let select_eq ?(ctx = Exec.default) r ~attr ~value =
+  match Relation.col_index r attr with
+  | None -> invalid_arg ("Relation.value: no attribute " ^ attr)
+  | Some j ->
+    let c = (I.cols r).(j) in
+    let n = Relation.cardinality r in
+    Exec.scanned ctx n;
+    let ids = Ivec.create 64 in
+    (match Hashtbl.find_opt c.I.index value with
+    | None -> ()
+    | Some code ->
+      let data = c.I.data in
+      for i = 0 to n - 1 do
+        Exec.tick ctx 1;
+        if data.(i) = code then Ivec.push ids i
+      done);
+    Exec.emitted ctx (Ivec.len ids);
+    gather_cols ctx
+      ~sem:(Relation.semantics r)
+      ~names:(I.names r) (I.cols r) ids
 
-let key_of common r row = List.map (Relation.value r row) common
+let semijoin ?(ctx = Exec.default) r s =
+  let rn = Relation.cardinality r and sn = Relation.cardinality s in
+  let pairs = common_columns r s in
+  let k = Array.length pairs in
+  if k = 0 then
+    (* Disjoint schemes: r survives unchanged iff s is nonempty. *)
+    if sn = 0 then Relation.empty_like r else r
+  else begin
+    Observe.Metrics.incr (Exec.semijoins ctx);
+    Exec.scanned ctx (rn + sn);
+    let rcols = I.cols r and scols = I.cols s in
+    let remaps =
+      Array.map (fun (jr, js) -> remap rcols.(jr) scols.(js)) pairs
+    in
+    let ids = Ivec.create (min (max rn 4) 4096) in
+    (if k = 1 then begin
+       let jr, js = pairs.(0) in
+       let rm = remaps.(0) in
+       let sdata = scols.(js).I.data in
+       let keys = Hashtbl.create (2 * sn) in
+       for i = 0 to sn - 1 do
+         Exec.tick ctx 1;
+         let c = rm.(sdata.(i)) in
+         if c >= 0 then Hashtbl.replace keys c ()
+       done;
+       let rdata = rcols.(jr).I.data in
+       for i = 0 to rn - 1 do
+         Exec.tick ctx 1;
+         if Hashtbl.mem keys rdata.(i) then Ivec.push ids i
+       done
+     end
+     else begin
+       let keys = Hashtbl.create (2 * sn) in
+       let key = Array.make k 0 in
+       for i = 0 to sn - 1 do
+         Exec.tick ctx 1;
+         let ok = ref true in
+         for j = 0 to k - 1 do
+           let _, js = pairs.(j) in
+           let c = remaps.(j).(scols.(js).I.data.(i)) in
+           if c < 0 then ok := false else key.(j) <- c
+         done;
+         if !ok && not (Hashtbl.mem keys key) then
+           Hashtbl.add keys (Array.copy key) ()
+       done;
+       for i = 0 to rn - 1 do
+         Exec.tick ctx 1;
+         for j = 0 to k - 1 do
+           let jr, _ = pairs.(j) in
+           key.(j) <- rcols.(jr).I.data.(i)
+         done;
+         if Hashtbl.mem keys key then Ivec.push ids i
+       done
+     end);
+    Exec.emitted ctx (Ivec.len ids);
+    gather_cols ctx ~sem:(Relation.semantics r) ~names:(I.names r) rcols ids
+  end
 
-let natural_join a b =
-  let common =
-    List.filter (fun x -> Relation.mem_attr b x) (Relation.attrs a)
-  in
+let natural_join ?(ctx = Exec.default) a b =
+  Observe.Metrics.incr (Exec.joins ctx);
+  let na = Relation.cardinality a and nb = Relation.cardinality b in
+  Exec.scanned ctx (na + nb);
+  let pairs = common_columns a b in
+  let k = Array.length pairs in
+  let acols = I.cols a and bcols = I.cols b in
+  let anames = I.names a and bnames = I.names b in
+  let in_common jb = Array.exists (fun (_, j) -> j = jb) pairs in
   let b_extras =
-    List.filter (fun x -> not (Relation.mem_attr a x)) (Relation.attrs b)
+    Array.of_list
+      (List.filter
+         (fun jb -> not (in_common jb))
+         (List.init (Array.length bnames) Fun.id))
   in
-  let index = Hashtbl.create 64 in
-  List.iter
-    (fun row ->
-      let k = key_of common b row in
-      let existing = try Hashtbl.find index k with Not_found -> [] in
-      Hashtbl.replace index k (row :: existing))
-    (Relation.tuples b);
-  let out = ref [] in
-  List.iter
-    (fun row ->
-      let k = key_of common a row in
-      match Hashtbl.find_opt index k with
-      | None -> ()
-      | Some matches ->
-        List.iter
-          (fun brow ->
-            let extras = List.map (Relation.value b brow) b_extras in
-            out := (row @ extras) :: !out)
-          matches)
-    (Relation.tuples a);
-  Relation.make ~attrs:(Relation.attrs a @ b_extras) !out
+  let sem =
+    match (Relation.semantics a, Relation.semantics b) with
+    | Relation.Set, Relation.Set -> Relation.Set
+    | _ -> Relation.Bag
+  in
+  let arows = Ivec.create 4096 and brows = Ivec.create 4096 in
+  (if k = 0 then
+     (* Cartesian product. *)
+     for i = 0 to na - 1 do
+       for j = 0 to nb - 1 do
+         Exec.tick ctx 1;
+         Ivec.push arows i;
+         Ivec.push brows j
+       done
+     done
+   else begin
+     let remaps =
+       Array.map (fun (ja, jb) -> remap acols.(ja) bcols.(jb)) pairs
+     in
+     if k = 1 then begin
+       let ja, jb = pairs.(0) in
+       let rm = remaps.(0) in
+       let bdata = bcols.(jb).I.data in
+       let index : (int, Ivec.t) Hashtbl.t = Hashtbl.create (2 * nb) in
+       for i = 0 to nb - 1 do
+         Exec.tick ctx 1;
+         let c = rm.(bdata.(i)) in
+         if c >= 0 then (
+           match Hashtbl.find_opt index c with
+           | Some v -> Ivec.push v i
+           | None ->
+             let v = Ivec.create 4 in
+             Ivec.push v i;
+             Hashtbl.add index c v)
+       done;
+       let adata = acols.(ja).I.data in
+       for i = 0 to na - 1 do
+         Exec.tick ctx 1;
+         match Hashtbl.find_opt index adata.(i) with
+         | None -> ()
+         | Some v ->
+           for t = 0 to Ivec.len v - 1 do
+             Exec.tick ctx 1;
+             Ivec.push arows i;
+             Ivec.push brows (Ivec.get v t)
+           done
+       done
+     end
+     else begin
+       let index : (int array, Ivec.t) Hashtbl.t = Hashtbl.create (2 * nb) in
+       let key = Array.make k 0 in
+       for i = 0 to nb - 1 do
+         Exec.tick ctx 1;
+         let ok = ref true in
+         for j = 0 to k - 1 do
+           let _, jb = pairs.(j) in
+           let c = remaps.(j).(bcols.(jb).I.data.(i)) in
+           if c < 0 then ok := false else key.(j) <- c
+         done;
+         if !ok then (
+           match Hashtbl.find_opt index key with
+           | Some v -> Ivec.push v i
+           | None ->
+             let v = Ivec.create 4 in
+             Ivec.push v i;
+             Hashtbl.add index (Array.copy key) v)
+       done;
+       for i = 0 to na - 1 do
+         Exec.tick ctx 1;
+         for j = 0 to k - 1 do
+           let ja, _ = pairs.(j) in
+           key.(j) <- acols.(ja).I.data.(i)
+         done;
+         match Hashtbl.find_opt index key with
+         | None -> ()
+         | Some v ->
+           for t = 0 to Ivec.len v - 1 do
+             Exec.tick ctx 1;
+             Ivec.push arows i;
+             Ivec.push brows (Ivec.get v t)
+           done
+       done
+     end
+   end);
+  let out_n = Ivec.len arows in
+  Exec.emitted ctx out_n;
+  let out_names =
+    Array.append anames (Array.map (fun jb -> bnames.(jb)) b_extras)
+  in
+  let gathered src ids =
+    Array.map
+      (fun (c : I.col) ->
+        let data = Array.make out_n 0 in
+        let cd = c.I.data in
+        for i = 0 to out_n - 1 do
+          data.(i) <- cd.(Ivec.get ids i)
+        done;
+        { c with I.data })
+      src
+  in
+  let out_cols =
+    Array.append (gathered acols arows)
+      (gathered (Array.map (fun jb -> bcols.(jb)) b_extras) brows)
+  in
+  Exec.tick ctx out_n;
+  I.of_cols sem ~names:out_names ~cols:out_cols ~n_rows:out_n
 
-let semijoin r s =
-  let common =
-    List.filter (fun x -> Relation.mem_attr s x) (Relation.attrs r)
-  in
-  let keys = Hashtbl.create 64 in
-  List.iter
-    (fun row -> Hashtbl.replace keys (key_of common s row) ())
-    (Relation.tuples s);
-  let rows =
-    List.filter
-      (fun row -> Hashtbl.mem keys (key_of common r row))
-      (Relation.tuples r)
-  in
-  Relation.make ~attrs:(Relation.attrs r) rows
-
-let join_all = function
+let join_all ?(ctx = Exec.default) = function
   | [] -> None
-  | r :: rest -> Some (List.fold_left natural_join r rest)
+  | r :: rest ->
+    Some (List.fold_left (fun acc s -> natural_join ~ctx acc s) r rest)

@@ -1,19 +1,34 @@
 (** Relational algebra operators: projection, selection, natural join,
-    semijoin. *)
+    semijoin — hash-based over the columnar layout, with dictionary
+    codes as join keys (single-int fast path for one common attribute,
+    int-array keys otherwise).
 
-val project : Relation.t -> string list -> Relation.t
-(** Keep the listed attributes (which must exist); duplicates in the
-    result collapse. *)
+    Every operator takes an optional {!Exec.t} context that threads
+    budget checkpoints, [relalg.*] metrics counters and (via
+    {!Yannakakis}) trace spans through the row loops; the default
+    context is inert.
 
-val select_eq : Relation.t -> attr:string -> value:string -> Relation.t
+    Result semantics: projection, selection and semijoin preserve the
+    left input's {!Relation.semantics}; a join of two [Set] relations
+    is [Set], anything touching a [Bag] input is [Bag] with
+    multiplicities multiplied per matching pair. *)
 
-val natural_join : Relation.t -> Relation.t -> Relation.t
+val project : ?ctx:Exec.t -> Relation.t -> string list -> Relation.t
+(** Keep the listed attributes. Raises [Invalid_argument] up front on
+    an unknown or duplicate attribute. Under [Set] duplicate result
+    rows collapse (projecting to [[]] yields the 0/1-row boolean
+    relation); under [Bag] every input row survives — a zero-copy
+    column selection. *)
+
+val select_eq : ?ctx:Exec.t -> Relation.t -> attr:string -> value:string -> Relation.t
+
+val natural_join : ?ctx:Exec.t -> Relation.t -> Relation.t -> Relation.t
 (** Hash join on the common attributes; a cartesian product when there
     are none. Column order: left's columns then right's extras. *)
 
-val semijoin : Relation.t -> Relation.t -> Relation.t
+val semijoin : ?ctx:Exec.t -> Relation.t -> Relation.t -> Relation.t
 (** [semijoin r s] keeps the tuples of [r] that join with some tuple of
-    [s]. *)
+    [s]. Never introduces duplicates; preserves [r]'s semantics. *)
 
-val join_all : Relation.t list -> Relation.t option
+val join_all : ?ctx:Exec.t -> Relation.t list -> Relation.t option
 (** Left fold of natural joins; [None] on the empty list. *)

@@ -1,42 +1,135 @@
-type t = { columns : string list; rows : string list list }
+(* Columnar relations: each attribute is a dictionary-encoded column.
+   The dictionary maps distinct string values to dense int codes; row
+   data is a flat int array, so operators compare and hash ints and
+   access cells in O(1) instead of walking per-tuple lists. *)
 
-let make ~attrs rows =
+type semantics = Set | Bag
+
+type column = {
+  dict : string array;  (* code -> value *)
+  index : (string, int) Hashtbl.t;  (* value -> code *)
+  data : int array;  (* row -> code *)
+}
+
+type t = {
+  sem : semantics;
+  names : string array;
+  cols : column array;
+  n_rows : int;
+}
+
+let semantics r = r.sem
+
+let encode_column rows_a n_rows j =
+  let data = Array.make n_rows 0 in
+  let index = Hashtbl.create 64 in
+  let rev_dict = ref [] in
+  let next = ref 0 in
+  for i = 0 to n_rows - 1 do
+    let v = rows_a.(i).(j) in
+    let code =
+      match Hashtbl.find_opt index v with
+      | Some c -> c
+      | None ->
+        let c = !next in
+        incr next;
+        Hashtbl.add index v c;
+        rev_dict := v :: !rev_dict;
+        c
+    in
+    data.(i) <- code
+  done;
+  { dict = Array.of_list (List.rev !rev_dict); index; data }
+
+let make ?(semantics = Set) ~attrs rows =
   let sorted = List.sort_uniq compare attrs in
   if List.length sorted <> List.length attrs then
     invalid_arg "Relation.make: duplicate attribute";
+  let arity = List.length attrs in
   List.iter
     (fun row ->
-      if List.length row <> List.length attrs then
+      if List.length row <> arity then
         invalid_arg "Relation.make: arity mismatch")
     rows;
-  { columns = attrs; rows = List.sort_uniq compare rows }
+  let rows =
+    (* Set semantics dedups eagerly (and fixes a canonical row order);
+       bag semantics keeps every multiplicity as given. *)
+    match semantics with Set -> List.sort_uniq compare rows | Bag -> rows
+  in
+  let n_rows = List.length rows in
+  let rows_a = Array.of_list (List.map Array.of_list rows) in
+  {
+    sem = semantics;
+    names = Array.of_list attrs;
+    cols = Array.init arity (encode_column rows_a n_rows);
+    n_rows;
+  }
 
-let attrs r = r.columns
-let attr_set r = List.sort compare r.columns
-let tuples r = r.rows
-let cardinality r = List.length r.rows
-let arity r = List.length r.columns
-let mem_attr r a = List.mem a r.columns
+let attrs r = Array.to_list r.names
+let attr_set r = List.sort compare (Array.to_list r.names)
+let cardinality r = r.n_rows
+let arity r = Array.length r.names
+let mem_attr r a = Array.exists (String.equal a) r.names
 
-let value r row attr =
-  let rec go cols vals =
-    match (cols, vals) with
+let col_index r a =
+  let n = Array.length r.names in
+  let rec go j = if j >= n then None else if r.names.(j) = a then Some j else go (j + 1) in
+  go 0
+
+let cell r ~row ~col =
+  let c = r.cols.(col) in
+  c.dict.(c.data.(row))
+
+let row r i = List.init (arity r) (fun j -> cell r ~row:i ~col:j)
+let tuples r = List.init r.n_rows (row r)
+
+let value r tuple attr =
+  let rec go names vals =
+    match (names, vals) with
     | c :: _, v :: _ when c = attr -> v
-    | _ :: cols, _ :: vals -> go cols vals
+    | _ :: names, _ :: vals -> go names vals
     | _ -> invalid_arg ("Relation.value: no attribute " ^ attr)
   in
-  go r.columns row
+  go (attrs r) tuple
 
 let canonical r =
-  (* Rows as sorted (attr, value) association lists, sorted. *)
-  let keyed row = List.sort compare (List.combine r.columns row) in
-  List.sort compare (List.map keyed r.rows)
+  (* Rows as sorted (attr, value) association lists, sorted with
+     multiplicities kept — set relations are duplicate-free by
+     construction, so this refines the old set comparison. *)
+  let keyed i =
+    List.sort compare
+      (List.init (arity r) (fun j -> (r.names.(j), cell r ~row:i ~col:j)))
+  in
+  List.sort compare (List.init r.n_rows keyed)
 
 let equal a b = attr_set a = attr_set b && canonical a = canonical b
 
-let empty_like r = { r with rows = [] }
+let empty_like r =
+  {
+    r with
+    cols = Array.map (fun c -> { c with data = [||] }) r.cols;
+    n_rows = 0;
+  }
 
 let pp ppf r =
-  Format.fprintf ppf "@[<v>%s@," (String.concat " | " r.columns);
-  List.iter (fun row -> Format.fprintf ppf "%s@," (String.concat " | " row)) r.rows;
-  Format.fprintf ppf "(%d tuples)@]" (cardinality r)
+  Format.fprintf ppf "@[<v>%s@,"
+    (String.concat " | " (Array.to_list r.names));
+  for i = 0 to r.n_rows - 1 do
+    Format.fprintf ppf "%s@," (String.concat " | " (row r i))
+  done;
+  Format.fprintf ppf "(%d tuples)@]" r.n_rows
+
+module Internal = struct
+  type col = column = {
+    dict : string array;
+    index : (string, int) Hashtbl.t;
+    data : int array;
+  }
+
+  let names r = r.names
+  let cols r = r.cols
+  let code r ~row ~col = r.cols.(col).data.(row)
+
+  let of_cols sem ~names ~cols ~n_rows =
+    { sem; names; cols; n_rows }
+end

@@ -1,15 +1,27 @@
-(** In-memory relations: a named attribute list and a set of tuples.
+(** In-memory relations over named attributes, stored columnar.
 
-    This is the minimal relational substrate behind the paper's
-    motivation (universal-relation interfaces, semijoin programs on
-    acyclic schemas). Values are strings; a tuple assigns one value per
-    attribute, positionally. *)
+    This is the relational substrate behind the paper's motivation
+    (universal-relation interfaces, semijoin programs on acyclic
+    schemas). Values are strings; internally each attribute is a
+    dictionary-encoded column (distinct values interned to dense int
+    codes, row data in a flat int array) so the operators in {!Ops}
+    hash and compare ints and access any cell in O(1).
+
+    A relation carries its {!semantics}: [Set] relations are
+    duplicate-free (dedup happens in {!make} and in set-mode
+    projection), [Bag] relations preserve tuple multiplicities through
+    every operator, per Atserias–Kolaitis (arXiv:2012.12126). *)
+
+type semantics = Set | Bag
 
 type t
 
-val make : attrs:string list -> string list list -> t
+val make : ?semantics:semantics -> attrs:string list -> string list list -> t
 (** Raises [Invalid_argument] on duplicate attributes or arity
-    mismatches. Duplicate tuples collapse. *)
+    mismatches. Under [Set] (the default) duplicate tuples collapse and
+    rows are stored sorted; under [Bag] every row is kept in order. *)
+
+val semantics : t -> semantics
 
 val attrs : t -> string list
 (** In column order. *)
@@ -18,7 +30,9 @@ val attr_set : t -> string list
 (** Sorted. *)
 
 val tuples : t -> string list list
-(** In column order of [attrs], sorted and duplicate-free. *)
+(** In column order of [attrs]. For relations built by {!make} under
+    [Set] this is sorted and duplicate-free; operator results come in
+    a deterministic but otherwise unspecified row order. *)
 
 val cardinality : t -> int
 
@@ -26,13 +40,45 @@ val arity : t -> int
 
 val mem_attr : t -> string -> bool
 
+val col_index : t -> string -> int option
+(** Position of an attribute's column, if present. *)
+
+val cell : t -> row:int -> col:int -> string
+(** O(1) decoded cell access; indices unchecked beyond array bounds. *)
+
+val row : t -> int -> string list
+
 val value : t -> string list -> string -> string
 (** [value r tuple attr]: the attr's value in a tuple of [r] (tuple
     given in [r]'s column order). *)
 
 val equal : t -> t -> bool
-(** Same attribute set and same tuple set (column order ignored). *)
+(** Same attribute set and same tuples up to column and row order —
+    with multiplicities, so two bag relations differing only in
+    duplicate counts are unequal. *)
 
 val empty_like : t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Columnar internals, exposed for {!Ops} (and tests). The arrays are
+    shared, never mutated after construction: operators reuse input
+    dictionaries and only allocate fresh row data. *)
+module Internal : sig
+  type col = {
+    dict : string array;  (** code -> value *)
+    index : (string, int) Hashtbl.t;  (** value -> code *)
+    data : int array;  (** row -> code *)
+  }
+
+  val names : t -> string array
+  val cols : t -> col array
+  val code : t -> row:int -> col:int -> int
+
+  val of_cols :
+    semantics -> names:string array -> cols:col array -> n_rows:int -> t
+  (** Trusted constructor: caller guarantees consistent lengths and,
+      under [Set], duplicate-freeness. *)
+end

@@ -7,66 +7,117 @@ let plan db =
   | Some jt -> Acyclic jt
   | None -> Naive_fallback
 
-let full_reducer db jt =
-  (* Snapshot names into an array once: [List.nth] per reducer step
-     made both passes quadratic in the number of relations. *)
-  let names = Array.of_list (Database.names db) in
-  let pre = Join_tree.preorder jt in
-  let upward =
-    (* children before parents: reverse preorder; semijoin parent by
-       child. *)
-    List.rev pre
-    |> List.filter_map (fun i ->
-           let p = jt.Join_tree.parent.(i) in
-           if p >= 0 then Some (names.(p), names.(i)) else None)
-  in
-  let downward =
-    pre
-    |> List.filter_map (fun i ->
-           let p = jt.Join_tree.parent.(i) in
-           if p >= 0 then Some (names.(i), names.(p)) else None)
-  in
-  Database.semijoin_reduce db ~order:(upward @ downward)
-
+(* Output attributes must exist in the database and be pairwise
+   distinct — both failure modes used to escape as an untyped
+   [Invalid_argument] from deep inside [Ops.project]. *)
 let check_output db output =
   let known = Database.attributes db in
-  List.iter
-    (fun a ->
-      if not (List.mem a known) then
-        invalid_arg ("Yannakakis: unknown output attribute " ^ a))
-    output
+  let seen = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> Ok ()
+    | a :: rest ->
+      if Hashtbl.mem seen a then
+        Error
+          (Runtime.Errors.Invalid_instance
+             ("duplicate output attribute '" ^ a ^ "'"))
+      else if not (List.mem a known) then
+        Error
+          (Runtime.Errors.Invalid_instance
+             ("unknown output attribute '" ^ a ^ "'"))
+      else begin
+        Hashtbl.add seen a ();
+        go rest
+      end
+  in
+  go output
 
-let evaluate_naive db ~output =
-  check_output db output;
-  match Ops.join_all (List.map snd (Database.relations db)) with
-  | None -> Relation.make ~attrs:output []
-  | Some joined -> Ops.project joined output
+let full_reducer ?(ctx = Exec.default) db jt =
+  Observe.Trace.span (Exec.trace ctx) "relalg.reduce" @@ fun () ->
+  let rels = Database.to_array db in
+  let order = Join_tree.order jt in
+  let parent = jt.Join_tree.parent in
+  let q = Array.length order in
+  (* Upward: reverse preorder visits every node before its parent, so
+     each subtree is fully folded into its root's parent slot. *)
+  for t = q - 1 downto 0 do
+    let i = order.(t) in
+    let p = parent.(i) in
+    if p >= 0 then begin
+      let pn, pr = rels.(p) in
+      let _, cr = rels.(i) in
+      rels.(p) <- (pn, Ops.semijoin ~ctx pr cr)
+    end
+  done;
+  (* Downward: preorder, semijoin each child by its reduced parent. *)
+  for t = 0 to q - 1 do
+    let i = order.(t) in
+    let p = parent.(i) in
+    if p >= 0 then begin
+      let cn, cr = rels.(i) in
+      let _, pr = rels.(p) in
+      rels.(i) <- (cn, Ops.semijoin ~ctx cr pr)
+    end
+  done;
+  Database.of_array rels
 
-let evaluate db ~output =
-  check_output db output;
-  match plan db with
-  | Naive_fallback -> evaluate_naive db ~output
-  | Acyclic jt ->
-    let reduced = full_reducer db jt in
-    let rels = Array.of_list (Database.relations reduced) in
-    let rel_at i = snd rels.(i) in
-    let rec eval_subtree i =
-      let rel = rel_at i in
-      let joined =
-        List.fold_left
-          (fun acc child -> Ops.natural_join acc (eval_subtree child))
-          rel (Join_tree.children jt i)
-      in
-      let p = jt.Join_tree.parent.(i) in
-      let keep_above = if p < 0 then [] else Relation.attrs (rel_at p) in
-      let keep =
-        List.filter
-          (fun a -> List.mem a output || List.mem a keep_above)
-          (Relation.attrs joined)
-      in
-      Ops.project joined keep
+let empty_result db ~output =
+  Relation.make ~semantics:(Database.semantics db) ~attrs:output []
+
+let naive_unchecked ctx db ~output =
+  match Ops.join_all ~ctx (List.map snd (Database.relations db)) with
+  | None -> empty_result db ~output
+  | Some joined -> Ops.project ~ctx joined output
+
+let acyclic_unchecked ctx db jt ~output =
+  let reduced = full_reducer ~ctx db jt in
+  Observe.Trace.span (Exec.trace ctx) "relalg.join" @@ fun () ->
+  let rels = Database.to_array reduced in
+  let rel_at i = snd rels.(i) in
+  let kids = Join_tree.children_arrays jt in
+  let in_output = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace in_output a ()) output;
+  let rec eval_subtree i =
+    let joined =
+      Array.fold_left
+        (fun acc child -> Ops.natural_join ~ctx acc (eval_subtree child))
+        (rel_at i) kids.(i)
     in
-    let root_results = List.map eval_subtree (Join_tree.roots jt) in
-    (match Ops.join_all root_results with
-    | None -> Relation.make ~attrs:output []
-    | Some r -> Ops.project r output)
+    let p = jt.Join_tree.parent.(i) in
+    let keep_above = if p < 0 then [] else Relation.attrs (rel_at p) in
+    (* Projecting early is what keeps intermediates output-bounded;
+       keeping the separator with the parent preserves join keys, and
+       in bag mode also multiplicities (the kept attributes determine
+       each surviving row's contribution). *)
+    let keep =
+      List.filter
+        (fun a -> Hashtbl.mem in_output a || List.mem a keep_above)
+        (Relation.attrs joined)
+    in
+    Ops.project ~ctx joined keep
+  in
+  let root_results = List.map eval_subtree (Join_tree.roots jt) in
+  match Ops.join_all ~ctx root_results with
+  | None -> empty_result db ~output
+  | Some r -> Ops.project ~ctx r output
+
+let boundary ctx f =
+  match Runtime.Budget.protect (Exec.budget ctx) f with
+  | Ok r -> Ok r
+  | Error _reason ->
+    (* Yannakakis is the structured exact plan; exhaustion reports
+       under that rung like the solver's structured algorithms do. *)
+    Error (Runtime.Errors.Budget_exhausted Runtime.Errors.Exact_structured)
+
+let evaluate_naive ?(ctx = Exec.default) db ~output =
+  match check_output db output with
+  | Error e -> Error e
+  | Ok () -> boundary ctx (fun () -> naive_unchecked ctx db ~output)
+
+let evaluate ?(ctx = Exec.default) db ~output =
+  match check_output db output with
+  | Error e -> Error e
+  | Ok () ->
+    boundary ctx (fun () ->
+        match plan db with
+        | Naive_fallback -> naive_unchecked ctx db ~output
+        | Acyclic jt -> acyclic_unchecked ctx db jt ~output)

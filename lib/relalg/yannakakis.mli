@@ -4,7 +4,15 @@
     motivates the paper's Section 1.
 
     [evaluate] falls back to the naive join-everything plan when the
-    scheme is cyclic. *)
+    scheme is cyclic. Both evaluators are runtime boundaries in the PR-2
+    sense: invalid output lists come back as typed
+    [Runtime.Errors.Invalid_instance] values and budget exhaustion as
+    [Budget_exhausted Exact_structured], never as escaping
+    exceptions. Bag-mode databases evaluate under bag semantics
+    throughout: because every intermediate projection keeps the
+    separator with the parent, the projection commutes with the joins
+    and multiplicities match the naive plan's (Atserias–Kolaitis,
+    arXiv:2012.12126). *)
 
 open Hypergraphs
 
@@ -14,14 +22,25 @@ type plan =
 
 val plan : Database.t -> plan
 
-val full_reducer : Database.t -> Join_tree.t -> Database.t
-(** Upward then downward semijoin passes; the result is globally
-    consistent when the tree is a coherent join tree. *)
+val full_reducer : ?ctx:Exec.t -> Database.t -> Join_tree.t -> Database.t
+(** Upward then downward semijoin passes (in-place over an indexed
+    relation array); the result is globally consistent when the tree
+    is a coherent join tree. Recorded under a [relalg.reduce] trace
+    span when the context carries an active trace. *)
 
-val evaluate : Database.t -> output:string list -> Relation.t
-(** Project-join: π_output(⋈ all relations). Raises [Invalid_argument]
-    when an output attribute does not occur in the database. *)
+val evaluate :
+  ?ctx:Exec.t ->
+  Database.t ->
+  output:string list ->
+  (Relation.t, Runtime.Errors.t) result
+(** Project-join: π_output(⋈ all relations). [Error (Invalid_instance _)]
+    when an output attribute is unknown or listed twice;
+    [Error (Budget_exhausted _)] when the context's budget runs out. *)
 
-val evaluate_naive : Database.t -> output:string list -> Relation.t
+val evaluate_naive :
+  ?ctx:Exec.t ->
+  Database.t ->
+  output:string list ->
+  (Relation.t, Runtime.Errors.t) result
 (** Ground truth: fold the natural joins in declaration order, then
     project. Exponential intermediate results possible. *)

@@ -1,6 +1,6 @@
 open Relalg
 
-let over_hypergraph rng h ~rows ~domain =
+let over_hypergraph ?semantics rng h ~rows ~domain =
   let attr i = Printf.sprintf "a%d" i in
   let rels =
     Array.to_list (Hypergraphs.Hypergraph.edges h)
@@ -9,24 +9,35 @@ let over_hypergraph rng h ~rows ~domain =
            let row _ =
              List.map (fun _ -> string_of_int (Rng.int rng (max 1 domain))) attrs
            in
-           (Printf.sprintf "r%d" j, Relation.make ~attrs (List.init rows row)))
+           ( Printf.sprintf "r%d" j,
+             Relation.make ?semantics ~attrs (List.init rows row) ))
   in
   Database.make rels
 
-let acyclic rng ~n_relations ~rows =
+let acyclic ?semantics rng ~n_relations ~rows =
   let h = Gen_hyper.alpha_acyclic rng ~n_edges:n_relations ~max_size:4 in
-  over_hypergraph rng h ~rows ~domain:(max 2 (rows / 3))
+  over_hypergraph ?semantics rng h ~rows ~domain:(max 2 (rows / 3))
 
-let chain rng ~length ~rows ~domain =
+let chain ?semantics ?(dangling = 0.0) rng ~length ~rows ~domain =
+  let domain = max 1 domain in
   let rels =
     List.init length (fun j ->
         let a = Printf.sprintf "a%d" j and b = Printf.sprintf "a%d" (j + 1) in
+        let last = j = length - 1 in
         let row _ =
-          [
-            string_of_int (Rng.int rng (max 1 domain));
-            string_of_int (Rng.int rng (max 1 domain));
-          ]
+          let left =
+            (* Dangling mass goes on the last relation's shared (left)
+               column: values in [domain, 2*domain) never match r_(j-1),
+               so the semijoin reducer prunes them immediately while a
+               left-fold naive join only discovers them at its final
+               join. *)
+            if last && length > 1 && Rng.bool rng dangling then
+              domain + Rng.int rng domain
+            else Rng.int rng domain
+          in
+          [ string_of_int left; string_of_int (Rng.int rng domain) ]
         in
-        (Printf.sprintf "r%d" j, Relation.make ~attrs:[ a; b ] (List.init rows row)))
+        ( Printf.sprintf "r%d" j,
+          Relation.make ?semantics ~attrs:[ a; b ] (List.init rows row) ))
   in
   Database.make rels

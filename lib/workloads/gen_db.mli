@@ -1,16 +1,40 @@
 (** Random populated databases over generated schemes, for the
-    relational-engine experiments. *)
+    relational-engine experiments. All generators accept [?semantics]:
+    the default [Set] collapses duplicate tuples at construction (so a
+    relation may hold fewer than [rows] tuples when the domain is
+    small), [Bag] keeps all [rows] with multiplicities. *)
 
 open Relalg
 
 val over_hypergraph :
-  Rng.t -> Hypergraphs.Hypergraph.t -> rows:int -> domain:int -> Database.t
+  ?semantics:Relation.semantics ->
+  Rng.t ->
+  Hypergraphs.Hypergraph.t ->
+  rows:int ->
+  domain:int ->
+  Database.t
 (** One relation per hyperedge (named [r0], [r1], ...), attributes
     named [a<i>] after the node ids, [rows] random tuples per relation
     with values drawn from a [domain]-sized dictionary. *)
 
-val acyclic : Rng.t -> n_relations:int -> rows:int -> Database.t
+val acyclic :
+  ?semantics:Relation.semantics ->
+  Rng.t ->
+  n_relations:int ->
+  rows:int ->
+  Database.t
 (** Random α-acyclic schema with data. *)
 
-val chain : Rng.t -> length:int -> rows:int -> domain:int -> Database.t
-(** The classic path schema r_i(a_i, a_(i+1)). *)
+val chain :
+  ?semantics:Relation.semantics ->
+  ?dangling:float ->
+  Rng.t ->
+  length:int ->
+  rows:int ->
+  domain:int ->
+  Database.t
+(** The classic path schema r_i(a_i, a_(i+1)). With [dangling] > 0,
+    that fraction of the last relation's tuples get a left value from
+    [domain, 2*domain) — tuples no other relation can join, which a
+    semijoin reducer prunes up front but a fold-left naive join drags
+    to its final join. [dangling] defaults to [0.]. *)

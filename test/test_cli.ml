@@ -240,6 +240,74 @@ let test_solve_plan_cache_warm () =
   check_int "warm degraded run exits 2" 2
     (run ("solve " ^ f2 ^ " -t A,C --fuel 2 --plan-cache " ^ dir2))
 
+(* ---------------------------------------------------------- query *)
+
+(* The query subcommand runs the whole pipeline: scheme compilation,
+   Algorithm 1, Yannakakis execution. Exit codes follow the same
+   contract (0 answered, 3 disconnected, 4 input error, 5 budget
+   exhausted). *)
+
+let gen_args = "--gen chain --size 4 --rows 200 --domain 200 --seed 3"
+
+let test_query_answers () =
+  check_int "generated chain answers" 0 (run ("query " ^ gen_args ^ " -t a0,a4"));
+  check_int "bag semantics answers" 0
+    (run ("query " ^ gen_args ^ " --bag -t a0,a4"));
+  check_int "naive baseline answers" 0
+    (run ("query " ^ gen_args ^ " --naive -t a0,a4"));
+  check_int "boolean query (relation terminals)" 0
+    (run ("query " ^ gen_args ^ " -t r0,r3"));
+  write_file "cli_query.db"
+    "database\n\
+     relation works emp dept\n\
+     relation located dept floor\n\
+     row works alice toys\n\
+     row located toys 1\n";
+  check_int "file-backed database answers" 0
+    (run "query cli_query.db -t emp,floor")
+
+let test_query_input_errors () =
+  check_int "unknown terminal" 4 (run ("query " ^ gen_args ^ " -t a0,zz"));
+  check_int "duplicate attribute terminals" 4
+    (run ("query " ^ gen_args ^ " -t a0,a0,a4"));
+  check_int "missing terminals" 4 (run ("query " ^ gen_args));
+  check_int "neither DBFILE nor --gen" 4 (run "query -t a0");
+  check_int "unknown generator family" 4
+    (run "query --gen ring --size 4 -t a0");
+  write_file "cli_query_bad.db" "database\nrelation r a b\nrow r x\n";
+  check_int "malformed database file" 4 (run "query cli_query_bad.db -t a")
+
+let test_query_disconnected () =
+  write_file "cli_query_disc.db"
+    "database\n\
+     relation r1 a b\n\
+     relation r2 c d\n\
+     row r1 x y\n\
+     row r2 u v\n";
+  check_int "disconnected scheme" 3 (run "query cli_query_disc.db -t a,c")
+
+let test_query_budget () =
+  check_int "tiny fuel exhausts the executor" 5
+    (run ("query " ^ gen_args ^ " --fuel 10 -t a0,a4"))
+
+let test_query_artifacts () =
+  let code =
+    run
+      ("query " ^ gen_args
+     ^ " -t a0,a4 --trace cli_query.trace.ndjson --metrics \
+        cli_query.metrics.json")
+  in
+  check_int "exit 0 with artifacts" 0 code;
+  let trace = read_file "cli_query.trace.ndjson" in
+  (match Observe.Export.validate_ndjson_string trace with
+  | Ok n -> check "query trace has spans" true (n > 0)
+  | Error e -> Alcotest.fail ("invalid query trace: " ^ e));
+  check "reducer span present" true (contains trace "relalg.reduce");
+  check "join span present" true (contains trace "relalg.join");
+  match Observe.Export.validate_metrics_string (read_file "cli_query.metrics.json") with
+  | Ok n -> check "query metrics instruments" true (n > 0)
+  | Error e -> Alcotest.fail ("invalid query metrics: " ^ e)
+
 let () =
   Alcotest.run "cli"
     [
@@ -262,6 +330,15 @@ let () =
           Alcotest.test_case "per-rung artifacts" `Quick test_trace_artifacts;
           Alcotest.test_case "artifacts on failure" `Quick
             test_trace_on_failure;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "0 answered" `Quick test_query_answers;
+          Alcotest.test_case "4 input errors" `Quick test_query_input_errors;
+          Alcotest.test_case "3 disconnected" `Quick test_query_disconnected;
+          Alcotest.test_case "5 exhausted" `Quick test_query_budget;
+          Alcotest.test_case "observability artifacts" `Quick
+            test_query_artifacts;
         ] );
       ( "plan-cache",
         [

@@ -442,9 +442,13 @@ let interface_end_to_end =
             (Relalg.Database.relations db)
         in
         chosen = []
-        || Relalg.Relation.equal a.Interface.result
-             (Relalg.Yannakakis.evaluate_naive (Relalg.Database.make chosen)
-                ~output:query))
+        ||
+        match
+          Relalg.Yannakakis.evaluate_naive (Relalg.Database.make chosen)
+            ~output:query
+        with
+        | Ok naive -> Relalg.Relation.equal a.Interface.result naive
+        | Error _ -> false)
 
 let dialogue_sizes_nondecreasing =
   QCheck2.Test.make ~count:50

@@ -1,11 +1,16 @@
-(* Tests for the relational mini-engine: operators, scheme hypergraphs,
-   semijoin reducers and Yannakakis vs naive evaluation. *)
+(* Tests for the relational engine: columnar relations, operators,
+   scheme hypergraphs, semijoin reducers, set-vs-bag semantics and
+   Yannakakis vs naive evaluation. *)
 
 open Hypergraphs
 open Relalg
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+let ok_rel = function
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Runtime.Errors.to_string e)
 
 let r_emp =
   Relation.make ~attrs:[ "emp"; "dept" ]
@@ -50,13 +55,100 @@ let test_relation_basics () =
        (Relation.make ~attrs:[ "a"; "b" ] [ [ "1"; "2" ] ])
        (Relation.make ~attrs:[ "b"; "a" ] [ [ "2"; "1" ] ]))
 
+let test_columnar_access () =
+  (* O(1) accessors agree with the row view. *)
+  let r = r_emp in
+  check "col_index" true (Relation.col_index r "dept" = Some 1);
+  check "col_index missing" true (Relation.col_index r "nope" = None);
+  for i = 0 to Relation.cardinality r - 1 do
+    let row = Relation.row r i in
+    List.iteri
+      (fun j v -> check "cell = row" true (Relation.cell r ~row:i ~col:j = v))
+      row
+  done;
+  (* Set-mode relations store rows sorted, so tuples is canonical. *)
+  check "tuples sorted" true
+    (let ts = Relation.tuples r in
+     List.sort compare ts = ts)
+
+(* ------------------------------------------------------ Bag semantics *)
+
+let test_bag_multiplicities () =
+  (* Regression for the silent sort_uniq: bag mode must keep every
+     duplicate the generators produce. *)
+  let bag = Relation.make ~semantics:Relation.Bag ~attrs:[ "a" ] [ [ "x" ]; [ "x" ] ] in
+  check_int "bag keeps duplicates" 2 (Relation.cardinality bag);
+  check_int "set collapses duplicates" 1
+    (Relation.cardinality (Relation.make ~attrs:[ "a" ] [ [ "x" ]; [ "x" ] ]));
+  check "equal sees multiplicities" false
+    (Relation.equal bag (Relation.make ~semantics:Relation.Bag ~attrs:[ "a" ] [ [ "x" ] ]));
+  (* Projection under bags is multiplicity-preserving. *)
+  let wide =
+    Relation.make ~semantics:Relation.Bag ~attrs:[ "a"; "b" ]
+      [ [ "x"; "1" ]; [ "x"; "2" ]; [ "x"; "2" ] ]
+  in
+  check_int "bag projection keeps all rows" 3
+    (Relation.cardinality (Ops.project wide [ "a" ]));
+  check_int "set projection dedups" 1
+    (Relation.cardinality
+       (Ops.project (Relation.make ~attrs:[ "a"; "b" ]
+                       [ [ "x"; "1" ]; [ "x"; "2" ] ])
+          [ "a" ]));
+  (* Join multiplicities multiply per matching pair. *)
+  let l = Relation.make ~semantics:Relation.Bag ~attrs:[ "a" ] [ [ "x" ]; [ "x" ] ] in
+  let r = Relation.make ~semantics:Relation.Bag ~attrs:[ "a"; "b" ]
+      [ [ "x"; "1" ]; [ "x"; "1" ]; [ "x"; "2" ] ]
+  in
+  check_int "bag join multiplies" 6
+    (Relation.cardinality (Ops.natural_join l r));
+  (* Boolean projection: count of witnesses under bags, 0/1 under sets. *)
+  check_int "bag boolean projection counts" 3
+    (Relation.cardinality (Ops.project r []));
+  check_int "semijoin never duplicates" 2 (Relation.cardinality (Ops.semijoin l r))
+
+let test_bag_generator_cardinalities () =
+  (* gen_db with a tiny domain: set mode loses duplicate tuples, bag
+     mode pins cardinality = rows exactly. *)
+  let rows = 64 in
+  let bagged =
+    Workloads.Gen_db.chain ~semantics:Relation.Bag
+      (Workloads.Rng.make ~seed:5) ~length:3 ~rows ~domain:3
+  in
+  List.iter
+    (fun (_, r) -> check_int "bag keeps all generated rows" rows (Relation.cardinality r))
+    (Database.relations bagged);
+  let set_db =
+    Workloads.Gen_db.chain (Workloads.Rng.make ~seed:5) ~length:3 ~rows ~domain:3
+  in
+  List.iter
+    (fun (_, r) ->
+      check "set drops generated duplicates" true (Relation.cardinality r < rows))
+    (Database.relations set_db)
+
+let test_mixed_semantics_rejected () =
+  check "mixed set/bag database rejected" true
+    (try
+       ignore
+         (Database.make
+            [
+              ("s", Relation.make ~attrs:[ "a" ] [ [ "1" ] ]);
+              ("b", Relation.make ~semantics:Relation.Bag ~attrs:[ "a" ] [ [ "1" ] ]);
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
 (* --------------------------------------------------------------- Ops *)
 
 let test_project_select () =
   let p = Ops.project r_emp [ "dept" ] in
   check_int "projection dedups" 3 (Relation.cardinality p);
   let s = Ops.select_eq r_emp ~attr:"dept" ~value:"toys" in
-  check_int "selection" 2 (Relation.cardinality s)
+  check_int "selection" 2 (Relation.cardinality s);
+  check "duplicate projection attrs rejected" true
+    (try
+       ignore (Ops.project r_emp [ "dept"; "dept" ]);
+       false
+     with Invalid_argument _ -> true)
 
 let test_join () =
   let j = Ops.natural_join r_emp r_dept in
@@ -90,6 +182,14 @@ let test_scheme_hypergraph () =
   check_int "edges = relations" 3 (Hypergraph.n_edges h);
   check "chain schema is acyclic" true (Gyo.alpha_acyclic h)
 
+let test_database_indexing () =
+  check_int "n_relations" 3 (Database.n_relations db);
+  check "relation_at in names order" true
+    (fst (Database.relation_at db 1) = "dept");
+  check "relation lookup" true
+    (Relation.equal (Database.relation db "floor") r_floor);
+  check_int "total tuples" 9 (Database.total_tuples db)
+
 (* --------------------------------------------------------- Yannakakis *)
 
 let test_plan () =
@@ -111,8 +211,8 @@ let test_full_reducer () =
 
 let test_yannakakis_equals_naive () =
   let output = [ "emp"; "manager" ] in
-  let y = Yannakakis.evaluate db ~output in
-  let n = Yannakakis.evaluate_naive db ~output in
+  let y = ok_rel (Yannakakis.evaluate db ~output) in
+  let n = ok_rel (Yannakakis.evaluate_naive db ~output) in
   check "same result" true (Relation.equal y n);
   check_int "three employees have managers" 3 (Relation.cardinality y)
 
@@ -122,15 +222,54 @@ let test_cyclic_fallback () =
   let rc = Relation.make ~attrs:[ "a"; "c" ] [ [ "1"; "3" ] ] in
   let cyc = Database.make [ ("ab", ra); ("bc", rb); ("ac", rc) ] in
   check "triangle scheme is cyclic" true (Yannakakis.plan cyc = Yannakakis.Naive_fallback);
-  let out = Yannakakis.evaluate cyc ~output:[ "a"; "b"; "c" ] in
+  let out = ok_rel (Yannakakis.evaluate cyc ~output:[ "a"; "b"; "c" ]) in
   check_int "still evaluates" 1 (Relation.cardinality out)
 
-let test_unknown_output () =
-  check "unknown attribute rejected" true
-    (try
-       ignore (Yannakakis.evaluate db ~output:[ "nope" ]);
-       false
-     with Invalid_argument _ -> true)
+let test_output_validation () =
+  (* Both failure modes come back typed, from both evaluators — they
+     used to escape as Invalid_argument from deep in Ops.project. *)
+  let is_invalid = function
+    | Error (Runtime.Errors.Invalid_instance _) -> true
+    | _ -> false
+  in
+  check "unknown attribute typed" true
+    (is_invalid (Yannakakis.evaluate db ~output:[ "nope" ]));
+  check "unknown attribute typed (naive)" true
+    (is_invalid (Yannakakis.evaluate_naive db ~output:[ "nope" ]));
+  check "duplicate output typed" true
+    (is_invalid (Yannakakis.evaluate db ~output:[ "emp"; "emp" ]));
+  check "duplicate output typed (naive)" true
+    (is_invalid (Yannakakis.evaluate_naive db ~output:[ "emp"; "emp" ]))
+
+let test_budget_exhaustion () =
+  let big =
+    Workloads.Gen_db.chain (Workloads.Rng.make ~seed:11) ~length:4 ~rows:2000
+      ~domain:500
+  in
+  let ctx = Exec.make ~budget:(Runtime.Budget.make ~fuel:3 ()) () in
+  (match Yannakakis.evaluate ~ctx big ~output:[ "a0"; "a4" ] with
+  | Error (Runtime.Errors.Budget_exhausted _) -> ()
+  | Ok _ -> Alcotest.fail "3 fuel units cannot evaluate 8000 tuples"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Runtime.Errors.to_string e));
+  (* The same query under no budget succeeds. *)
+  ignore (ok_rel (Yannakakis.evaluate big ~output:[ "a0"; "a4" ]))
+
+let test_observability () =
+  let trace = Observe.Trace.make () in
+  let metrics = Observe.Metrics.make () in
+  let ctx = Exec.make ~trace ~metrics () in
+  ignore (ok_rel (Yannakakis.evaluate ~ctx db ~output:[ "emp"; "manager" ]));
+  let span_names = List.map (fun s -> s.Observe.Trace.name) (Observe.Trace.spans trace) in
+  check "reduce span recorded" true (List.mem "relalg.reduce" span_names);
+  check "join span recorded" true (List.mem "relalg.join" span_names);
+  let count name =
+    match Observe.Metrics.find_counter metrics name with
+    | Some c -> c
+    | None -> 0
+  in
+  check "semijoins counted" true (count "relalg.semijoins" >= 4);
+  check "rows scanned" true (count "relalg.rows_scanned" > 0);
+  check "joins counted" true (count "relalg.joins" >= 2)
 
 (* -------------------------------------------------------- Edge cases *)
 
@@ -146,30 +285,126 @@ let test_relalg_edge_cases () =
     (Relation.cardinality (Ops.select_eq r_emp ~attr:"dept" ~value:"zzz") = 0);
   check "join_all of nothing" true (Ops.join_all [] = None)
 
+let test_empty_relation_in_tree () =
+  (* An empty relation anywhere in the join tree empties every answer,
+     in both modes. *)
+  List.iter
+    (fun semantics ->
+      let mk attrs rows = Relation.make ~semantics ~attrs rows in
+      let d =
+        Database.make
+          [
+            ("r0", mk [ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "3" ] ]);
+            ("r1", mk [ "b"; "c" ] []);
+            ("r2", mk [ "c"; "d" ] [ [ "5"; "6" ] ]);
+          ]
+      in
+      let y = ok_rel (Yannakakis.evaluate d ~output:[ "a"; "d" ]) in
+      check_int "empty relation empties the answer" 0 (Relation.cardinality y);
+      check "matches naive" true
+        (Relation.equal y (ok_rel (Yannakakis.evaluate_naive d ~output:[ "a"; "d" ]))))
+    [ Relation.Set; Relation.Bag ]
+
+let test_disconnected_scheme () =
+  (* Two attribute-disjoint chains: the scheme hypergraph is a forest
+     with two components and the subtree results combine by cartesian
+     product. *)
+  List.iter
+    (fun semantics ->
+      let mk attrs rows = Relation.make ~semantics ~attrs rows in
+      let d =
+        Database.make
+          [
+            ("r0", mk [ "a"; "b" ] [ [ "1"; "2" ]; [ "1"; "2" ]; [ "7"; "8" ] ]);
+            ("r1", mk [ "x"; "y" ] [ [ "u"; "v" ]; [ "w"; "v" ] ]);
+          ]
+      in
+      let y = ok_rel (Yannakakis.evaluate d ~output:[ "a"; "x" ]) in
+      let n = ok_rel (Yannakakis.evaluate_naive d ~output:[ "a"; "x" ]) in
+      check "disconnected scheme matches naive" true (Relation.equal y n);
+      check_int "cartesian cardinality"
+        (match semantics with Relation.Set -> 4 | Relation.Bag -> 6)
+        (Relation.cardinality y))
+    [ Relation.Set; Relation.Bag ]
+
+let test_boolean_query () =
+  (* output = []: does the full join have any witnesses? Sets answer
+     0/1; bags count the witnesses. *)
+  let y = ok_rel (Yannakakis.evaluate db ~output:[]) in
+  check_int "boolean query (set): one empty tuple" 1 (Relation.cardinality y);
+  check_int "boolean arity" 0 (Relation.arity y);
+  check "boolean matches naive" true
+    (Relation.equal y (ok_rel (Yannakakis.evaluate_naive db ~output:[])));
+  let bag =
+    Workloads.Gen_db.chain ~semantics:Relation.Bag (Workloads.Rng.make ~seed:3)
+      ~length:2 ~rows:8 ~domain:2
+  in
+  let yb = ok_rel (Yannakakis.evaluate bag ~output:[]) in
+  check "bag boolean matches naive" true
+    (Relation.equal yb (ok_rel (Yannakakis.evaluate_naive bag ~output:[])))
+
 (* -------------------------------------------------------- properties *)
 
-let qcheck_cases =
-  let db_gen =
-    QCheck2.Gen.(
-      int_range 0 10000
-      |> map (fun seed ->
-             let rng = Workloads.Rng.make ~seed in
-             (* Random acyclic schema over attributes a0..a7 with random
-                small data. *)
-             let h = Workloads.Gen_hyper.alpha_acyclic rng ~n_edges:4 ~max_size:3 in
-             let attr i = Printf.sprintf "a%d" i in
-             let rels =
-               Array.to_list (Hypergraph.edges h)
-               |> List.mapi (fun j e ->
-                      let attrs = List.map attr (Graphs.Iset.elements e) in
-                      let row _ =
-                        List.map (fun _ -> string_of_int (Workloads.Rng.int rng 3)) attrs
-                      in
-                      ( Printf.sprintf "r%d" j,
-                        Relation.make ~attrs (List.init 6 row) ))
-             in
-             Database.make rels))
+let db_gen_with ~semantics =
+  QCheck2.Gen.(
+    int_range 0 10000
+    |> map (fun seed ->
+           let rng = Workloads.Rng.make ~seed in
+           (* Random acyclic schema over attributes a0..a7 with random
+              small data. *)
+           let h = Workloads.Gen_hyper.alpha_acyclic rng ~n_edges:4 ~max_size:3 in
+           let attr i = Printf.sprintf "a%d" i in
+           let rels =
+             Array.to_list (Hypergraph.edges h)
+             |> List.mapi (fun j e ->
+                    let attrs = List.map attr (Graphs.Iset.elements e) in
+                    let row _ =
+                      List.map (fun _ -> string_of_int (Workloads.Rng.int rng 3)) attrs
+                    in
+                    ( Printf.sprintf "r%d" j,
+                      Relation.make ~semantics ~attrs (List.init 6 row) ))
+           in
+           Database.make rels))
+
+let db_gen = db_gen_with ~semantics:Relation.Set
+
+(* The differential property at the heart of the engine: the reduced
+   tree-structured plan computes exactly the naive join-project, for
+   every random database, in both semantics modes, over gen_db's
+   acyclic and chain families. *)
+let differential_cases =
+  let eq_on db output =
+    Relation.equal
+      (ok_rel (Yannakakis.evaluate db ~output))
+      (ok_rel (Yannakakis.evaluate_naive db ~output))
   in
+  let every_other db =
+    List.filteri (fun i _ -> i mod 2 = 0) (Database.attributes db)
+  in
+  let of_seed ~family ~semantics seed =
+    let rng = Workloads.Rng.make ~seed in
+    match family with
+    | `Acyclic -> Workloads.Gen_db.acyclic ~semantics rng ~n_relations:4 ~rows:6
+    | `Chain ->
+      Workloads.Gen_db.chain ~semantics ~dangling:0.3 rng ~length:4 ~rows:8
+        ~domain:3
+  in
+  List.concat_map
+    (fun (fname, family) ->
+      List.map
+        (fun (sname, semantics) ->
+          QCheck2.Test.make ~count:120
+            ~name:
+              (Printf.sprintf "Yannakakis = naive on gen_db %s (%s mode)" fname
+                 sname)
+            QCheck2.Gen.(int_range 0 10000)
+            (fun seed ->
+              let d = of_seed ~family ~semantics seed in
+              eq_on d (every_other d) && eq_on d []))
+        [ ("set", Relation.Set); ("bag", Relation.Bag) ])
+    [ ("acyclic", `Acyclic); ("chain", `Chain) ]
+
+let qcheck_cases =
   [
     QCheck2.Test.make ~count:150
       ~name:"Yannakakis = naive join-project on random acyclic databases"
@@ -178,8 +413,8 @@ let qcheck_cases =
         let output = List.filteri (fun i _ -> i mod 2 = 0) attrs in
         QCheck2.assume (output <> []);
         Relation.equal
-          (Yannakakis.evaluate db ~output)
-          (Yannakakis.evaluate_naive db ~output));
+          (ok_rel (Yannakakis.evaluate db ~output))
+          (ok_rel (Yannakakis.evaluate_naive db ~output)));
     QCheck2.Test.make ~count:150
       ~name:"full reducer never grows relations and preserves the join"
       db_gen (fun db ->
@@ -195,8 +430,8 @@ let qcheck_cases =
           &&
           let output = Database.attributes db in
           Relation.equal
-            (Yannakakis.evaluate_naive db ~output)
-            (Yannakakis.evaluate_naive reduced ~output));
+            (ok_rel (Yannakakis.evaluate_naive db ~output))
+            (ok_rel (Yannakakis.evaluate_naive reduced ~output)));
     QCheck2.Test.make ~count:100 ~name:"natural join is commutative (as sets)"
       db_gen (fun db ->
         match Database.relations db with
@@ -226,12 +461,38 @@ let qcheck_cases =
           let once = Ops.semijoin r s in
           Relation.equal once (Ops.semijoin once s)
         | _ -> true);
+    QCheck2.Test.make ~count:100
+      ~name:"bag join multiplicities are commutative"
+      (db_gen_with ~semantics:Relation.Bag) (fun db ->
+        match Database.relations db with
+        | (_, r) :: (_, s) :: _ ->
+          Relation.equal (Ops.natural_join r s) (Ops.natural_join s r)
+        | _ -> true);
+    QCheck2.Test.make ~count:100
+      ~name:"columnar round-trip: make (tuples r) = r"
+      db_gen (fun db ->
+        List.for_all
+          (fun (_, r) ->
+            Relation.equal r
+              (Relation.make ~attrs:(Relation.attrs r) (Relation.tuples r)))
+          (Database.relations db));
   ]
 
 let () =
   Alcotest.run "relalg"
     [
-      ("relation", [ Alcotest.test_case "basics" `Quick test_relation_basics ]);
+      ( "relation",
+        [
+          Alcotest.test_case "basics" `Quick test_relation_basics;
+          Alcotest.test_case "columnar access" `Quick test_columnar_access;
+        ] );
+      ( "bag-semantics",
+        [
+          Alcotest.test_case "multiplicities" `Quick test_bag_multiplicities;
+          Alcotest.test_case "generator cardinalities" `Quick
+            test_bag_generator_cardinalities;
+          Alcotest.test_case "mixed rejected" `Quick test_mixed_semantics_rejected;
+        ] );
       ( "ops",
         [
           Alcotest.test_case "project/select" `Quick test_project_select;
@@ -239,16 +500,28 @@ let () =
           Alcotest.test_case "semijoin" `Quick test_semijoin;
         ] );
       ( "database",
-        [ Alcotest.test_case "scheme hypergraph" `Quick test_scheme_hypergraph ] );
+        [
+          Alcotest.test_case "scheme hypergraph" `Quick test_scheme_hypergraph;
+          Alcotest.test_case "indexing" `Quick test_database_indexing;
+        ] );
       ( "yannakakis",
         [
           Alcotest.test_case "plan" `Quick test_plan;
           Alcotest.test_case "full reducer" `Quick test_full_reducer;
           Alcotest.test_case "equals naive" `Quick test_yannakakis_equals_naive;
           Alcotest.test_case "cyclic fallback" `Quick test_cyclic_fallback;
-          Alcotest.test_case "unknown output" `Quick test_unknown_output;
+          Alcotest.test_case "output validation" `Quick test_output_validation;
+          Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+          Alcotest.test_case "observability" `Quick test_observability;
         ] );
       ( "edge-cases",
-        [ Alcotest.test_case "corner cases" `Quick test_relalg_edge_cases ] );
+        [
+          Alcotest.test_case "corner cases" `Quick test_relalg_edge_cases;
+          Alcotest.test_case "empty relation in tree" `Quick
+            test_empty_relation_in_tree;
+          Alcotest.test_case "disconnected scheme" `Quick test_disconnected_scheme;
+          Alcotest.test_case "boolean query" `Quick test_boolean_query;
+        ] );
+      ("differential", List.map QCheck_alcotest.to_alcotest differential_cases);
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_cases);
     ]
