@@ -1792,6 +1792,154 @@ let serve_section ~trials ~max_n ~json_path () =
   write_bench_json ~section:"serve" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
+(* Section: evolve                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Incremental schema evolution vs recompile-from-scratch. The schema
+   is a disjoint union of B structured blocks — the live-schema shape
+   component-scoped recompilation is built for — and a batch of k
+   single-edge deltas dirties k distinct blocks, so apply_deltas
+   recompiles k components and reuses the other B-k verbatim. The
+   headline check backs the tentpole: one single-edge delta must cost
+   at most 0.2x the full recompile once the schema is big enough
+   (n >= 100). The batch axis then sweeps k up to B to locate the
+   crossover where patching stops paying and recompiling from scratch
+   wins; each row records its batch size and measured recompiled
+   count so the trajectory file carries the whole curve. *)
+
+let evolve_union gen ~blocks =
+  let edges = ref [] and picks = ref [] in
+  let nl = ref 0 and nr = ref 0 in
+  for b = 0 to blocks - 1 do
+    let g = gen b in
+    let lo = !nl and ro = !nr in
+    let es = Bigraph.edges g in
+    (match es with
+    | (i, j) :: _ -> picks := (i + lo, j + ro) :: !picks
+    | [] -> ());
+    List.iter (fun (i, j) -> edges := (i + lo, j + ro) :: !edges) es;
+    nl := !nl + Bigraph.nl g;
+    nr := !nr + Bigraph.nr g
+  done;
+  (Bigraph.of_edges ~nl:!nl ~nr:!nr (List.rev !edges), List.rev !picks)
+
+let evolve_section ~trials ~max_n ~json_path () =
+  header "evolve: delta patch vs recompile-from-scratch (ms)";
+  Printf.printf "%-12s %-10s %6s %8s %6s %12s\n" "section" "impl" "|V|" "|E|"
+    "batch" "mean ms";
+  let rows = ref [] in
+  let singles = ref [] in
+  let ok_apply compiled ops =
+    match Minconn.Compiled.apply_deltas compiled ops with
+    | Ok (c, stats) -> (c, stats)
+    | Error msg -> failwith ("evolve apply_deltas: " ^ msg)
+  in
+  let bench_workload ~section g picks =
+    let blocks = List.length picks in
+    let n = Bigraph.n g and m = Bigraph.m g in
+    let compiled = Minconn.Compiled.compile g in
+    let row ~impl ~batch ~recompiled ms =
+      Printf.printf "%-12s %-10s %6d %8d %6d %12.4f\n%!" section impl n m
+        batch ms;
+      let name, ns, extras = timed_entry ~section ~impl ~n ~m ~ms in
+      rows :=
+        !rows
+        @ [
+            ( name,
+              ns,
+              extras
+              @ [
+                  ("batch", Observe.Json.Jnum (float_of_int batch));
+                  ( "recompiled_components",
+                    Observe.Json.Jnum (float_of_int recompiled) );
+                ] );
+          ]
+    in
+    (* Recompile baseline: the evolved schema built from scratch, the
+       cost every delta batch is competing against. *)
+    let target =
+      match
+        Minconn.Delta.apply_all g
+          (List.map (fun (i, j) -> Minconn.Delta.Remove_edge (i, j)) picks)
+      with
+      | Ok g' -> g'
+      | Error msg -> failwith ("evolve apply_all: " ^ msg)
+    in
+    let t_full =
+      time_mean ~trials (fun () ->
+          ignore (Sys.opaque_identity (Minconn.Compiled.compile target)))
+    in
+    row ~impl:"recompile" ~batch:blocks ~recompiled:blocks t_full;
+    let crossover = ref None in
+    let rec batches k = if k >= blocks then [ blocks ] else k :: batches (2 * k) in
+    List.iter
+      (fun k ->
+        let ops =
+          List.filteri (fun i _ -> i < k) picks
+          |> List.map (fun (i, j) -> Minconn.Delta.Remove_edge (i, j))
+        in
+        let _, stats = ok_apply compiled ops in
+        let recompiled =
+          List.length
+            (List.sort_uniq compare
+               (List.concat_map
+                  (fun (s : Minconn.Compiled.delta_stats) -> s.recompiled)
+                  stats))
+        in
+        let ms =
+          time_mean ~trials (fun () ->
+              ignore (Sys.opaque_identity (ok_apply compiled ops)))
+        in
+        row ~impl:(Printf.sprintf "patch-k%d" k) ~batch:k ~recompiled ms;
+        if k = 1 then singles := (section, n, ms, t_full) :: !singles;
+        if !crossover = None && ms >= t_full then crossover := Some k)
+      (batches 1);
+    Printf.printf "-- %-10s n=%-4d crossover batch: %s (of %d blocks)\n"
+      section n
+      (match !crossover with
+      | Some k -> string_of_int k
+      | None -> Printf.sprintf "> %d" blocks)
+      blocks
+  in
+  (* At least 8 blocks: one block must be a small enough fraction of
+     the schema for the 0.2x single-delta headline to have headroom. *)
+  let block_sizes = List.filter (fun b -> b * 12 <= max_n) [ 8; 16; 32 ] in
+  List.iter
+    (fun blocks ->
+      let g, picks =
+        evolve_union ~blocks (fun b ->
+            Workloads.Gen_bipartite.chordal_62
+              (trial ~section:"evolve-62" ((blocks * 100) + b))
+              ~n_right:12 ~max_size:5)
+      in
+      bench_workload ~section:"chordal62" g picks)
+    block_sizes;
+  List.iter
+    (fun blocks ->
+      let g, picks =
+        evolve_union ~blocks (fun b ->
+            Workloads.Gen_bipartite.alpha_bipartite
+              (trial ~section:"evolve-alpha" ((blocks * 100) + b))
+              ~n_right:12 ~max_size:5)
+      in
+      bench_workload ~section:"alpha" g picks)
+    block_sizes;
+  List.iter
+    (fun (section, n, t1, t_full) ->
+      let ratio = if t_full > 0.0 then t1 /. t_full else 1.0 in
+      if n >= 100 then
+        Printf.printf
+          "-- %-10s n=%-4d patch/recompile = %.4f (must be <= 0.2)%s\n"
+          section n ratio
+          (if ratio <= 0.2 then "" else "  NOT PROFITABLE")
+      else
+        Printf.printf
+          "-- %-10s n=%-4d patch/recompile = %.4f (below threshold size)\n"
+          section n ratio)
+    (List.rev !singles);
+  write_bench_json ~section:"evolve" ~trials ~max_n ~path:json_path !rows
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let trials = ref 5 and max_n = ref 384 in
@@ -1803,6 +1951,7 @@ let () =
   let plancache_json_path = ref "BENCH_plancache.json" in
   let relalg_json_path = ref "BENCH_relalg.json" in
   let serve_json_path = ref "BENCH_serve.json" in
+  let evolve_json_path = ref "BENCH_evolve.json" in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--trials" :: v :: rest ->
@@ -1834,6 +1983,9 @@ let () =
       parse_args acc rest
     | "--serve-json" :: v :: rest ->
       serve_json_path := v;
+      parse_args acc rest
+    | "--evolve-json" :: v :: rest ->
+      evolve_json_path := v;
       parse_args acc rest
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -1896,6 +2048,10 @@ let () =
         fun () ->
           serve_section ~trials:!trials ~max_n:!max_n
             ~json_path:!serve_json_path () );
+      ( "evolve",
+        fun () ->
+          evolve_section ~trials:!trials ~max_n:!max_n
+            ~json_path:!evolve_json_path () );
     ]
   in
   let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in

@@ -186,12 +186,16 @@ let parse_queries_file path =
    by severity, so a numeric max is the contract). With --jobs N > 1 a
    domain pool fans both the compile tasks and the queries out; the
    answers (and their printed order) are identical to --jobs 1. *)
-let run_batch nb ~queries ~cache ~jobs ~timeout_ms ~fuel ~no_degrade ~trace
-    ~metrics ~flush_observability =
+let run_batch ?compiled nb ~queries ~cache ~jobs ~timeout_ms ~fuel ~no_degrade
+    ~trace ~metrics ~flush_observability =
   let solve_batch pool =
-    let compiled, _ =
-      Minconn.Plan_cache.find_or_compile ?pool ~trace ~metrics ?cache
-        nb.Mc_io.Parse.graph
+    let compiled =
+      match compiled with
+      | Some c -> c
+      | None ->
+        fst
+          (Minconn.Plan_cache.find_or_compile ?pool ~trace ~metrics ?cache
+             nb.Mc_io.Parse.graph)
     in
     let session =
       Minconn.Session.create ~degrade:(not no_degrade) ~trace ~metrics compiled
@@ -427,6 +431,141 @@ let solve_cmd =
     Term.(
       const run $ path $ terminals $ queries_file $ cache_dir $ jobs
       $ timeout_ms $ fuel $ no_degrade $ trace_file $ metrics_file)
+
+(* -------------------------------------------------------------- evolve *)
+
+let load_deltas nb path =
+  match Mc_io.Parse.deltas_of_string nb (read_file path) with
+  | Ok v -> v
+  | Error e ->
+    prerr_endline (Format.asprintf "%s: %a" path Mc_io.Parse.pp_error e);
+    exit exit_input_error
+
+(* Apply a delta file to a schema, component-scoped: untouched
+   components keep their compiled orderings and join-tree preps.
+   Status and per-delta stats go to stderr so --emit and --queries
+   stdout stays clean (the evolve-smoke rule diffs it against solve
+   on the pre-evolved file). *)
+let evolve_cmd =
+  let run path dfile emit queries_file cache_dir jobs =
+    if jobs < 1 then begin
+      prerr_endline "minconn: error=invalid-jobs (need --jobs >= 1)";
+      exit exit_input_error
+    end;
+    let nb = or_die (load_bigraph path) in
+    let ops, evolved = load_deltas nb dfile in
+    let cache = open_plan_cache_opt cache_dir in
+    let with_jobs f =
+      if jobs > 1 then
+        Minconn.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+      else f None
+    in
+    let compiled, status =
+      match cache with
+      | Some _ ->
+        (* The cache ladder: exact evolved entry, else patch the
+           cached base plan, else cold compile — all stored for the
+           next run. *)
+        with_jobs (fun pool ->
+            let compiled, outcome =
+              Minconn.Plan_cache.find_or_compile ?pool ?cache ~deltas:ops
+                nb.Mc_io.Parse.graph
+            in
+            ( compiled,
+              match outcome with
+              | `Hit -> "hit"
+              | `Patched -> "patched"
+              | `Miss -> "miss" ))
+      | None ->
+        with_jobs (fun pool ->
+            let base = Minconn.Compiled.compile ?pool nb.Mc_io.Parse.graph in
+            match Minconn.Compiled.apply_deltas ?pool base ops with
+            | Error msg ->
+              (* Unreachable: the parser already applied every op. *)
+              Printf.eprintf "minconn: error=bad-delta msg=%s\n" msg;
+              exit exit_input_error
+            | Ok (compiled, stats) ->
+              List.iter
+                (fun (s : Minconn.Compiled.delta_stats) ->
+                  Printf.eprintf
+                    "minconn: delta='%s' noop=%b fallback=%b recompiled=%d \
+                     reused=%d\n"
+                    (Minconn.Delta.to_string s.Minconn.Compiled.op)
+                    s.Minconn.Compiled.noop s.Minconn.Compiled.fallback
+                    (List.length s.Minconn.Compiled.recompiled)
+                    s.Minconn.Compiled.reused)
+                stats;
+              (compiled, "applied"))
+    in
+    Printf.eprintf "minconn: deltas=%d components=%d cache=%s\n%!"
+      (List.length ops)
+      (Minconn.Compiled.n_components compiled)
+      status;
+    match queries_file with
+    | Some qpath ->
+      run_batch ~compiled evolved
+        ~queries:(parse_queries_file qpath)
+        ~cache:None ~jobs:1 ~timeout_ms:None ~fuel:None ~no_degrade:false
+        ~trace:Observe.Trace.disabled ~metrics:Observe.Metrics.disabled
+        ~flush_observability:(fun () -> ())
+    | None ->
+      if emit then print_string (Mc_io.Parse.bigraph_to_string evolved)
+      else print_string (Minconn.report evolved.Mc_io.Parse.graph)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let dfile =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "deltas" ] ~docv:"DFILE"
+          ~doc:"Delta file to apply: '+edge A r1', '-edge A r1', \
+                '+relation r9 A B', '-relation r3', one per line after a \
+                'deltas' header; later lines see the schema as evolved \
+                by earlier ones.")
+  in
+  let emit =
+    Arg.(
+      value & flag
+      & info [ "emit" ]
+          ~doc:"Print the evolved schema as a bipartite graph file \
+                instead of its classification report")
+  in
+  let queries_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:"Answer one query per line of $(docv) against the \
+                evolved schema (same format and output as solve \
+                --queries), from the incrementally patched plan.")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan-cache" ] ~docv:"DIR"
+          ~doc:"Plan cache to consult and update: an exact evolved \
+                entry is loaded outright; a cached base plan is \
+                patched component-by-component; a cold run compiles. \
+                The evolved plan is stored keyed by base schema hash \
+                plus delta-journal hash.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Compile/patch on $(docv) domains (default 1); the plan \
+                is identical for every $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Apply a schema delta file and recompile only the touched \
+          components. Prints the evolved schema's classification \
+          (or the schema itself with --emit, or query answers with \
+          --queries). Exit codes: 0 evolved, 4 input error (bad file \
+          or delta), and with --queries the most severe per-query \
+          code.")
+    Term.(
+      const run $ path $ dfile $ emit $ queries_file $ cache_dir $ jobs)
 
 let relations_cmd =
   let run path terminals =
@@ -847,15 +986,28 @@ let query_cmd =
 (* --------------------------------------------------------------- serve *)
 
 let serve_cmd =
-  let run path host port max_inflight watermark shared_fuel pressure_fuel
-      timeout_ms read_timeout_ms max_body no_degrade cache_dir metrics_file
-      trace_file =
+  let run path deltas_file host port max_inflight watermark shared_fuel
+      pressure_fuel timeout_ms read_timeout_ms max_body no_degrade cache_dir
+      metrics_file trace_file =
     if max_inflight < 1 then begin
       prerr_endline "minconn: error=invalid-max-inflight (need >= 1)";
       exit exit_input_error
     end;
     let nb = or_die (load_bigraph path) in
     let cache = open_plan_cache_opt cache_dir in
+    (* --deltas: serve the evolved schema from the start. The cache's
+       delta rung patches a cached base plan instead of recompiling. *)
+    let nb, pre_compiled =
+      match deltas_file with
+      | None -> (nb, None)
+      | Some dfile ->
+        let ops, evolved = load_deltas nb dfile in
+        let compiled, _ =
+          Minconn.Plan_cache.find_or_compile ?cache ~deltas:ops
+            nb.Mc_io.Parse.graph
+        in
+        (evolved, Some compiled)
+    in
     let metrics = Observe.Metrics.make () in
     let trace =
       match trace_file with
@@ -881,7 +1033,10 @@ let serve_cmd =
         degrade = not no_degrade;
       }
     in
-    match Serve.Server.create ~config ?cache ~metrics ~trace nb with
+    match
+      Serve.Server.create ~config ?cache ?compiled:pre_compiled ~metrics
+        ~trace nb
+    with
     | Error msg ->
       Printf.eprintf "minconn: error=serve-bind msg=%s\n" msg;
       exit exit_input_error
@@ -907,6 +1062,15 @@ let serve_cmd =
         (c "serve.errors")
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let deltas_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "deltas" ] ~docv:"DFILE"
+          ~doc:"Apply this delta file to the schema before serving (see \
+                the evolve subcommand); with --plan-cache, a cached \
+                base plan is patched instead of recompiled. Further \
+                deltas can be applied live via POST /schema/delta.")
+  in
   let host =
     Arg.(
       value & opt string "127.0.0.1"
@@ -998,14 +1162,16 @@ let serve_cmd =
        ~doc:
          "Serve minimal-connection queries over HTTP/1.1. POST /solve \
           with a terminal set (names separated by commas or \
-          whitespace) answers the same bytes as solve --queries; GET \
-          /metrics, /trace and /healthz expose observability. SIGTERM \
-          or SIGINT drains gracefully: stop accepting, finish \
-          in-flight requests, flush artifacts.")
+          whitespace) answers the same bytes as solve --queries; POST \
+          /schema/delta hot-swaps the schema by a delta file without \
+          dropping inflight requests; GET /metrics, /trace and \
+          /healthz expose observability. SIGTERM or SIGINT drains \
+          gracefully: stop accepting, finish in-flight requests, \
+          flush artifacts.")
     Term.(
-      const run $ path $ host $ port $ max_inflight $ watermark $ shared_fuel
-      $ pressure_fuel $ timeout_ms $ read_timeout_ms $ max_body $ no_degrade
-      $ cache_dir $ metrics_file $ trace_file)
+      const run $ path $ deltas_file $ host $ port $ max_inflight $ watermark
+      $ shared_fuel $ pressure_fuel $ timeout_ms $ read_timeout_ms $ max_body
+      $ no_degrade $ cache_dir $ metrics_file $ trace_file)
 
 (* ------------------------------------------------------------ generate *)
 
@@ -1188,6 +1354,7 @@ let () =
               classify_cmd;
               compile_cmd;
               solve_cmd;
+              evolve_cmd;
               relations_cmd;
               repair_cmd;
               interpretations_cmd;

@@ -22,6 +22,11 @@ let add_edge g i j =
 let of_edges ~nl ~nr edges =
   List.fold_left (fun g (i, j) -> add_edge g i j) (create ~nl ~nr) edges
 
+let remove_edge g i j =
+  check_left g i;
+  check_right g j;
+  { g with g = Ugraph.remove_edge g.g i (g.nl + j) }
+
 let nl g = g.nl
 let nr g = g.nr
 let n g = g.nl + g.nr
@@ -67,6 +72,46 @@ let edges g =
   List.filter_map
     (fun (u, v) -> if u < g.nl then Some (u, v - g.nl) else None)
     (Ugraph.edges g.g)
+
+let rebuild ~nl ~nr ~old_edges ~extra =
+  (* Builder pass over the remapped edge list: O(n + m), the price of
+     keeping Ugraph immutable.  [old_edges] yields surviving edges of
+     the old graph already remapped to the new index space. *)
+  let b = Ugraph.Builder.create (nl + nr) in
+  List.iter (fun (x, y) -> Ugraph.Builder.add_edge b x y) old_edges;
+  List.iter (fun (x, y) -> Ugraph.Builder.add_edge b x y) extra;
+  { nl; nr; g = Ugraph.Builder.build b }
+
+let add_relation g attrs =
+  Iset.iter (fun i -> check_left g i) attrs;
+  (* Rights live at the top of the index space, so a fresh relation
+     appends at underlying index [nl + nr]: no existing index moves. *)
+  let v = g.nl + g.nr in
+  rebuild ~nl:g.nl ~nr:(g.nr + 1)
+    ~old_edges:(Ugraph.edges g.g)
+    ~extra:(List.map (fun i -> (i, v)) (Iset.elements attrs))
+
+let remove_relation g j =
+  check_right g j;
+  let v = g.nl + j in
+  (* Underlying indices above [v] shift down by one; for the last
+     relation ([j = nr - 1]) the remap is the identity. *)
+  let remap x = if x > v then x - 1 else x in
+  let old_edges =
+    List.filter_map
+      (fun (x, y) ->
+        if x = v || y = v then None else Some (remap x, remap y))
+      (Ugraph.edges g.g)
+  in
+  rebuild ~nl:g.nl ~nr:(g.nr - 1) ~old_edges ~extra:[]
+
+let induced g w =
+  (* Ugraph.induced renumbers in ascending order, and every left index
+     precedes every right index, so the result is again in bipartite
+     layout: members below [nl] become the new lefts. *)
+  let sub, ids = Ugraph.induced g.g w in
+  let nl' = Iset.cardinal (Iset.filter (fun v -> v < g.nl) w) in
+  ({ nl = nl'; nr = Iset.cardinal w - nl'; g = sub }, ids)
 
 let flip g =
   let b = Ugraph.Builder.create (g.nl + g.nr) in

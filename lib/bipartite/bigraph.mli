@@ -26,6 +26,28 @@ val of_edges : nl:int -> nr:int -> (int * int) list -> t
 val add_edge : t -> int -> int -> t
 (** [add_edge g i j] connects left [i] and right [j]. *)
 
+val remove_edge : t -> int -> int -> t
+(** [remove_edge g i j] disconnects left [i] and right [j]; a no-op
+    when the edge is absent. *)
+
+val add_relation : t -> Iset.t -> t
+(** [add_relation g attrs] appends a fresh right node connected to the
+    given left indices. The new relation gets right index [nr g]
+    (underlying index [n g]); no existing index moves. O(n + m). *)
+
+val remove_relation : t -> int -> t
+(** [remove_relation g j] deletes right node [j] and its incident
+    edges. Right indices above [j] (and their underlying indices)
+    shift down by one; removing the last relation ([j = nr - 1])
+    leaves every surviving index unchanged. O(n + m). *)
+
+val induced : t -> Iset.t -> t * int array
+(** [induced g w] materialises the sub-bigraph induced by a set of
+    underlying indices, renumbering ascending as {!Graphs.Ugraph.induced}
+    does — members below [nl g] become the new lefts, the rest the new
+    rights. Returns the mapping from new underlying indices back to the
+    originals. *)
+
 val nl : t -> int
 val nr : t -> int
 val n : t -> int

@@ -114,6 +114,58 @@ let profile ?pool ?(trace = Observe.Trace.disabled) g =
         degree_h2;
       })
 
+(* Every recognizer in the profile is component-local: cycles, cliques,
+   hyperedges and GYO reductions never cross a connected component, and
+   the witness hypergraphs drop the empty hyperedges an isolated
+   relation would contribute on either side of the decomposition. So
+   the whole-graph profile is the conjunction of the per-component
+   profiles, with acyclicity degrees combining by worst level. The
+   delta engine leans on this: after an edit only the touched
+   components are re-profiled and the global verdict is re-derived
+   here. test/test_evolve.ml pins [combine] against the whole-graph
+   classifier on random schemas. *)
+let severity = function
+  | Acyclicity.Berge_acyclic -> 0
+  | Acyclicity.Gamma_acyclic -> 1
+  | Acyclicity.Beta_acyclic -> 2
+  | Acyclicity.Alpha_acyclic -> 3
+  | Acyclicity.Cyclic -> 4
+
+let worst_degree a b = if severity a >= severity b then a else b
+
+let neutral =
+  {
+    chordal_41 = true;
+    chordal_62 = true;
+    chordal_61 = true;
+    v2_chordal = true;
+    v2_conformal = true;
+    v1_chordal = true;
+    v1_conformal = true;
+    alpha_h1 = true;
+    alpha_h2 = true;
+    degree_h1 = Acyclicity.Berge_acyclic;
+    degree_h2 = Acyclicity.Berge_acyclic;
+  }
+
+let combine profiles =
+  Array.fold_left
+    (fun acc p ->
+      {
+        chordal_41 = acc.chordal_41 && p.chordal_41;
+        chordal_62 = acc.chordal_62 && p.chordal_62;
+        chordal_61 = acc.chordal_61 && p.chordal_61;
+        v2_chordal = acc.v2_chordal && p.v2_chordal;
+        v2_conformal = acc.v2_conformal && p.v2_conformal;
+        v1_chordal = acc.v1_chordal && p.v1_chordal;
+        v1_conformal = acc.v1_conformal && p.v1_conformal;
+        alpha_h1 = acc.alpha_h1 && p.alpha_h1;
+        alpha_h2 = acc.alpha_h2 && p.alpha_h2;
+        degree_h1 = worst_degree acc.degree_h1 p.degree_h1;
+        degree_h2 = worst_degree acc.degree_h2 p.degree_h2;
+      })
+    neutral profiles
+
 let recommend p =
   if p.chordal_62 then Steiner_polynomial
   else

@@ -46,6 +46,19 @@ val profile :
     merged back in task order, so the trace shape is deterministic
     too. *)
 
+val neutral : profile
+(** The profile of the empty graph — identity of {!combine}: every
+    check true, both degrees Berge-acyclic. *)
+
+val combine : profile array -> profile
+(** Conjunction of per-component profiles: booleans combine by [&&],
+    degrees by worst level. Because every recognizer the profile runs
+    is component-local, [combine] over the profiles of the induced
+    connected components equals the whole-graph profile — the
+    decomposition {!Engine.Compiled.apply_delta} exploits to re-profile
+    only the components a schema delta touches (pinned by the
+    differential suite in test/test_evolve.ml). *)
+
 val recommend : profile -> recommendation
 
 val recommendation_name : recommendation -> string

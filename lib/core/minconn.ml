@@ -12,6 +12,7 @@ module Decomposition = Hypergraphs.Decomposition
 module Bigraph = Bipartite.Bigraph
 module Correspond = Bipartite.Correspond
 module Classify = Bipartite.Classify
+module Delta = Bipartite.Delta
 module Mn_chordality = Bipartite.Mn_chordality
 module Side_properties = Bipartite.Side_properties
 module Tree = Steiner.Tree

@@ -4,6 +4,7 @@ open Bipartite
 type component = {
   nodes : Iset.t;
   order : int list;
+  cprofile : Classify.profile;
   alg1_prep : (Steiner.Algorithm1.prep, Steiner.Algorithm1.error) result;
 }
 
@@ -14,6 +15,14 @@ type t = {
   profile : Classify.profile;
   comp_id : int array;
   components : component array;
+}
+
+type delta_stats = {
+  op : Delta.op;
+  noop : bool;
+  fallback : bool;
+  recompiled : int list;
+  reused : int;
 }
 
 let graph t = t.graph
@@ -38,7 +47,7 @@ let schema_hash g =
    [t] is first-order data — Bigraph/Ugraph are records over
    [Iset.t array] (Set.Make(Int): plain AVL blocks), Csr is int
    arrays, Classify.profile is bools plus Acyclicity.degree variants,
-   and each component holds an Iset, an int list and an
+   and each component holds an Iset, an int list, a profile and an
    [(Algorithm1.prep, error) result] whose prep is {comp; w_order} —
    no closures, lazies or custom blocks anywhere. The lazy compiled
    handles live in Datamodel.Schema/Layered (outside [t]) and the
@@ -66,6 +75,48 @@ let of_bytes s =
   | exception _ -> None
   | t -> if coherent t then Some t else None
 
+(* --------------------------------------------------- compilation *)
+
+(* Everything a single connected component contributes to the plan:
+   the Algorithm 2 elimination order, the Algorithm 1 join-tree prep,
+   and — new with delta support — its own classification profile, so a
+   schema edit can replace one component's slice and re-derive the
+   global profile by [Classify.combine] instead of reclassifying the
+   whole graph. The component profile is computed on the materialised
+   induced sub-bigraph (identical to the graph itself when the graph
+   is connected, so the single-component fast path pays no copy). *)
+let prep_component ?pool tr graph nodes =
+  let sub =
+    if Iset.cardinal nodes = Bigraph.n graph then graph
+    else fst (Bigraph.induced graph nodes)
+  in
+  {
+    nodes;
+    (* Increasing node ids: the completion Algorithm 2 applies
+       when no order is supplied, so session answers match the
+       one-shot path node for node. *)
+    order = Iset.elements nodes;
+    cprofile = Classify.profile ?pool ~trace:tr sub;
+    alg1_prep = Steiner.Algorithm1.prepare ~trace:tr graph ~comp:nodes;
+  }
+
+(* Per-component prep with the same fan-out contract as before: one
+   task per component when there are several, otherwise the pool goes
+   to the classifier's independent checks. Per-task trace forks are
+   merged in component order to keep ids stable. *)
+let build_components ?pool ~trace graph comps =
+  match pool with
+  | Some p when Parallel.Pool.domains p > 1 && Array.length comps > 1 ->
+    let forks = Array.map (fun _ -> Observe.Trace.fork trace) comps in
+    let out =
+      Parallel.Pool.mapi_worker p
+        (fun ~worker:_ ~index nodes -> prep_component forks.(index) graph nodes)
+        comps
+    in
+    Array.iter (Observe.Trace.merge trace) forks;
+    out
+  | _ -> Array.map (prep_component ?pool trace graph) comps
+
 let compile ?pool ?(trace = Observe.Trace.disabled)
     ?(metrics = Observe.Metrics.disabled) graph =
   let u = Bigraph.ugraph graph in
@@ -77,40 +128,176 @@ let compile ?pool ?(trace = Observe.Trace.disabled)
       ]
   @@ fun () ->
   let csr = Csr.of_ugraph u in
-  let profile = Classify.profile ?pool ~trace graph in
   let comp_id, comps =
     Observe.Trace.span trace "compile.components" (fun () ->
         Traverse.component_ids u)
   in
-  let prep_component tr nodes =
-    {
-      nodes;
-      (* Increasing node ids: the completion Algorithm 2 applies
-         when no order is supplied, so session answers match the
-         one-shot path node for node. *)
-      order = Iset.elements nodes;
-      alg1_prep = Steiner.Algorithm1.prepare ~trace:tr graph ~comp:nodes;
-    }
-  in
   let components =
     Observe.Trace.span trace "compile.orderings" @@ fun () ->
-    let comps = Array.of_list comps in
-    match pool with
-    | Some p when Parallel.Pool.domains p > 1 && Array.length comps > 1 ->
-      (* One task per connected component: prep only reads the shared
-         immutable graph, so tasks are independent; per-task trace
-         forks are merged in component order to keep ids stable. *)
-      let forks = Array.map (fun _ -> Observe.Trace.fork trace) comps in
-      let out =
-        Parallel.Pool.mapi_worker p
-          (fun ~worker:_ ~index nodes -> prep_component forks.(index) nodes)
-          comps
-      in
-      Array.iter (Observe.Trace.merge trace) forks;
-      out
-    | _ -> Array.map (prep_component trace) comps
+    build_components ?pool ~trace graph (Array.of_list comps)
+  in
+  let profile =
+    Classify.combine (Array.map (fun c -> c.cprofile) components)
   in
   Observe.Trace.add_attr trace "components"
     (Observe.Trace.Int (Array.length components));
   Observe.Metrics.incr (Observe.Metrics.counter metrics "engine.compiles");
   { graph; u; csr; profile; comp_id; components }
+
+(* ------------------------------------------------ delta application *)
+
+(* Rebuild the plan around a mix of reused and freshly prepped
+   components. The array is renormalised to the order a fresh compile
+   would produce — [Traverse.component_ids] lists components by
+   ascending minimum element — so a patched plan and a from-scratch
+   plan agree component index for component index. *)
+let replan ?pool ~trace ~metrics graph ~kept ~rebuilt_sets =
+  let u = Bigraph.ugraph graph in
+  let rebuilt = build_components ?pool ~trace graph rebuilt_sets in
+  let components =
+    Array.append (Array.of_list kept) rebuilt
+  in
+  Array.sort
+    (fun a b -> compare (Iset.min_elt a.nodes) (Iset.min_elt b.nodes))
+    components;
+  let n = Ugraph.n u in
+  let comp_id = Array.make n (-1) in
+  Array.iteri
+    (fun k c -> Iset.iter (fun v -> comp_id.(v) <- k) c.nodes)
+    components;
+  let profile =
+    Classify.combine (Array.map (fun c -> c.cprofile) components)
+  in
+  let recompiled = ref [] in
+  Array.iteri
+    (fun k c ->
+      if Array.exists (fun r -> r == c) rebuilt then
+        recompiled := k :: !recompiled)
+    components;
+  Observe.Metrics.incr
+    ~by:(Array.length rebuilt)
+    (Observe.Metrics.counter metrics "engine.delta.recompiled_components");
+  ( { graph; u; csr = Csr.of_ugraph u; profile; comp_id; components },
+    List.rev !recompiled )
+
+let apply_delta ?pool ?(trace = Observe.Trace.disabled)
+    ?(metrics = Observe.Metrics.disabled) t op =
+  match Delta.apply t.graph op with
+  | Error msg -> Error msg
+  | Ok g' when g' == t.graph ->
+    (* Physically unchanged graph: the delta was a no-op (re-adding a
+       present edge, removing an absent one) and must not dirty any
+       component — the plan itself is returned untouched. *)
+    Observe.Metrics.incr (Observe.Metrics.counter metrics "engine.delta.noops");
+    Ok
+      ( t,
+        {
+          op;
+          noop = true;
+          fallback = false;
+          recompiled = [];
+          reused = Array.length t.components;
+        } )
+  | Ok g' ->
+    Observe.Trace.span trace "apply_delta"
+      ~attrs:[ ("op", Observe.Trace.Str (Delta.to_string op)) ]
+    @@ fun () ->
+    Observe.Metrics.incr (Observe.Metrics.counter metrics "engine.delta.applied");
+    let nl = Bigraph.nl t.graph in
+    let total = Array.length t.components in
+    let u' = Bigraph.ugraph g' in
+    (* Removing an interior relation shifts every higher underlying
+       index, invalidating the node sets, orderings and join-tree preps
+       of untouched components wholesale — the conservative fallback
+       the delta contract reserves for edits that break cached
+       invariants. Only last-index removal is incremental. *)
+    let interior_removal =
+      match op with
+      | Delta.Remove_relation j -> j < Bigraph.nr t.graph - 1
+      | _ -> false
+    in
+    if interior_removal then begin
+      Observe.Metrics.incr
+        (Observe.Metrics.counter metrics "engine.delta.fallbacks");
+      Observe.Trace.add_attr trace "fallback" (Observe.Trace.Bool true);
+      let c = compile ?pool ~trace ~metrics g' in
+      Ok
+        ( c,
+          {
+            op;
+            noop = false;
+            fallback = true;
+            recompiled = List.init (Array.length c.components) Fun.id;
+            reused = 0;
+          } )
+    end
+    else begin
+      (* Which old components does the edit touch, and what node sets
+         replace them?  Insertion merges the endpoints' components;
+         deletion may split one component into several (recomputed by a
+         traversal restricted to the old component's nodes). *)
+      let dirty, rebuilt_sets =
+        match op with
+        | Delta.Add_edge (i, j) ->
+          let a = t.comp_id.(i) and b = t.comp_id.(nl + j) in
+          if a = b then ([ a ], [ t.components.(a).nodes ])
+          else
+            ( [ a; b ],
+              [ Iset.union t.components.(a).nodes t.components.(b).nodes ] )
+        | Delta.Remove_edge (i, _) ->
+          let a = t.comp_id.(i) in
+          ([ a ], Traverse.components ~within:t.components.(a).nodes u')
+        | Delta.Add_relation attrs ->
+          let v = Bigraph.n t.graph in
+          let cids =
+            Iset.fold
+              (fun i acc ->
+                if List.mem t.comp_id.(i) acc then acc else t.comp_id.(i) :: acc)
+              attrs []
+          in
+          let nodes =
+            List.fold_left
+              (fun acc c -> Iset.union acc t.components.(c).nodes)
+              (Iset.singleton v) cids
+          in
+          (cids, [ nodes ])
+        | Delta.Remove_relation j ->
+          let v = nl + j in
+          let a = t.comp_id.(v) in
+          let rest = Iset.remove v t.components.(a).nodes in
+          ([ a ], Traverse.components ~within:rest u')
+      in
+      let kept = ref [] in
+      Array.iteri
+        (fun k c -> if not (List.mem k dirty) then kept := c :: !kept)
+        t.components;
+      let t', recompiled =
+        replan ?pool ~trace ~metrics g' ~kept:!kept
+          ~rebuilt_sets:(Array.of_list rebuilt_sets)
+      in
+      Observe.Trace.add_attr trace "recompiled"
+        (Observe.Trace.Int (List.length recompiled));
+      Observe.Trace.add_attr trace "reused"
+        (Observe.Trace.Int (total - List.length dirty));
+      Ok
+        ( t',
+          {
+            op;
+            noop = false;
+            fallback = false;
+            recompiled;
+            reused = total - List.length dirty;
+          } )
+    end
+
+let apply_deltas ?pool ?trace ?metrics t ops =
+  let rec go t acc k = function
+    | [] -> Ok (t, List.rev acc)
+    | op :: rest -> (
+      match apply_delta ?pool ?trace ?metrics t op with
+      | Ok (t', stats) -> go t' (stats :: acc) (k + 1) rest
+      | Error msg ->
+        Error
+          (Printf.sprintf "delta %d (%s): %s" k (Delta.to_string op) msg))
+  in
+  go t [] 1 ops

@@ -16,6 +16,10 @@ type component = {
   order : int list;
       (** Algorithm 2 elimination order: increasing node ids, matching
           the one-shot default so session answers are identical *)
+  cprofile : Classify.profile;
+      (** classification of the induced sub-bigraph; the plan's global
+          profile is [Classify.combine] over these, which is what lets
+          {!apply_delta} re-profile only touched components *)
   alg1_prep : (Steiner.Algorithm1.prep, Steiner.Algorithm1.error) result;
       (** Algorithm 1's Lemma 1 ordering (reverse join-tree preorder),
           or [Error Not_alpha_acyclic] when the component has no join
@@ -53,6 +57,66 @@ val ugraph : t -> Ugraph.t
 val csr : t -> Csr.t
 val profile : t -> Classify.profile
 val n_components : t -> int
+
+(** {2 Incremental evolution}
+
+    A schema delta dirties the components whose vertex sets it
+    touches and nothing else: an edge insertion merges (at most) the
+    two endpoint components into one freshly prepped component, an
+    edge deletion re-traverses the one component it hits (which may
+    split into several), an appended relation merges the components of
+    its attributes with the new node, and removing the {e last}
+    relation drops its node from its component. Every untouched
+    component's slice — node set, elimination order, profile,
+    join-tree prep — is reused verbatim; the global profile is
+    re-derived by [Classify.combine]. Removing an {e interior}
+    relation shifts every higher underlying index, which invalidates
+    the cached per-component structure wholesale; that case falls back
+    to a full {!compile} (reported via [fallback]).
+
+    The patched plan is canonically identical to compiling the mutated
+    schema from scratch — same profile, same per-component node sets,
+    orderings and join-tree preps, same component numbering (ascending
+    minimum element, matching [Traverse.component_ids]), and therefore
+    the same answer to every query. test/test_evolve.ml pins this
+    differentially over random delta sequences. (Marshal bytes may
+    differ: equal [Iset]s built by different operation orders need not
+    share AVL shape.) *)
+
+type delta_stats = {
+  op : Delta.op;
+  noop : bool;
+      (** the delta left the graph physically unchanged; no component
+          was dirtied *)
+  fallback : bool;  (** interior relation removal: full recompile *)
+  recompiled : int list;
+      (** component indices (in the {e new} plan) that were rebuilt *)
+  reused : int;  (** components of the old plan reused verbatim *)
+}
+
+val apply_delta :
+  ?pool:Parallel.Pool.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
+  t ->
+  Delta.op ->
+  (t * delta_stats, string) result
+(** Apply one schema delta to the plan. [Error] only on index
+    validation failure (the plan is unchanged). Records an
+    ["apply_delta"] span (op, recompiled, reused, fallback attrs) and
+    bumps [engine.delta.applied] / [engine.delta.noops] /
+    [engine.delta.fallbacks] / [engine.delta.recompiled_components].
+    [pool] fans rebuilt-component prep exactly as {!compile} does. *)
+
+val apply_deltas :
+  ?pool:Parallel.Pool.t ->
+  ?trace:Observe.Trace.t ->
+  ?metrics:Observe.Metrics.t ->
+  t ->
+  Delta.op list ->
+  (t * delta_stats list, string) result
+(** Left fold of {!apply_delta}; the error names the 1-based position
+    of the failing delta. *)
 
 (** {2 Serialization}
 

@@ -52,6 +52,25 @@ let create ?(budget = Budget.unlimited) ?(degrade = true)
 
 let compiled t = t.compiled
 
+(* Plan swap for live schema evolution: scratch buffers are sized to
+   the plan's CSR arena, so a session observing a new plan must
+   reallocate them — reusing the old scratch against a grown graph
+   would read out of bounds. Budget, degradation policy and
+   observability sinks carry over; the physical-equality fast path
+   makes the per-request resync in lib/serve free when the schema has
+   not changed. *)
+let with_plan t compiled =
+  if compiled == t.compiled then t
+  else
+    {
+      t with
+      compiled;
+      alg1_scratch =
+        Algorithm1.make_scratch ~csr:compiled.Compiled.csr compiled.Compiled.u;
+      mst_scratch =
+        Mst_approx.make_scratch ~csr:compiled.Compiled.csr compiled.Compiled.u;
+    }
+
 (* O(|p| + log n) location against the cached component ids — the
    one-shot path pays a BFS here on every call. *)
 let locate t ~p =

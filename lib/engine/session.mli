@@ -52,6 +52,14 @@ val create :
 
 val compiled : t -> Compiled.t
 
+val with_plan : t -> Compiled.t -> t
+(** [with_plan t c] is the session retargeted at plan [c]: fresh
+    solver scratch sized to [c]'s arena, same budget, degradation
+    policy, trace and metrics. Physical no-op (returns [t] itself)
+    when [c == compiled t] — the cheap per-request resync the serving
+    layer performs so schema deltas swap in without dropping inflight
+    requests (a request keeps the immutable plan it started with). *)
+
 val query :
   ?budget:Budget.t ->
   ?degrade:bool ->

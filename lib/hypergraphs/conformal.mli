@@ -7,7 +7,15 @@
     nodes. The exponential oracle enumerates maximal cliques. *)
 
 val gilmore_violation : Hypergraph.t -> (int * int * int) option
-(** A triple of edge indices violating Gilmore's criterion, if any. *)
+(** The lexicographically first triple of edge indices violating
+    Gilmore's criterion, if any. Runs on dense bitsets: hyperedges are
+    packed once, the triple loop then costs O(n / word_size) words per
+    set operation and allocates nothing. *)
+
+val gilmore_violation_sets : Hypergraph.t -> (int * int * int) option
+(** Reference implementation on {!Graphs.Iset}; returns the same
+    witness as {!gilmore_violation} on every input (pinned by the
+    differential suite). *)
 
 val is_conformal : Hypergraph.t -> bool
 (** Gilmore criterion, restricted to nodes covered by some edge

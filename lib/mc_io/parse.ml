@@ -291,6 +291,81 @@ let database_of_string_unguarded ?semantics text =
           Ok (Relalg.Database.make rels)
         with Invalid_argument m -> err 0 0 "%s" m)))
 
+(* Delta files speak names, the engine speaks indices; each line is
+   resolved against the schema *as evolved so far*, so a relation
+   added three lines up is a legal edge endpoint here and the
+   recorded index ops line up exactly with [Delta.apply_all]'s
+   sequential semantics. *)
+let deltas_of_string_unguarded nb text =
+  let module D = Bipartite.Delta in
+  match expect_header "deltas" (tokenize text) with
+  | Error e -> Error e
+  | Ok lines ->
+    let remove_at j arr =
+      Array.of_list (List.filteri (fun k _ -> k <> j) (Array.to_list arr))
+    in
+    let rec consume nb ops = function
+      | [] -> Ok (List.rev ops, nb)
+      | (i, cs, toks) :: rest ->
+        let left c a =
+          match index_of nb.left_names a with
+          | Some la -> Ok la
+          | None -> err i c "unknown left node '%s'" a
+        in
+        let right c r =
+          match index_of nb.right_names r with
+          | Some j -> Ok j
+          | None -> err i c "unknown relation '%s'" r
+        in
+        (* Apply as we go: later lines must validate against the
+           evolved schema, and an op the engine would reject must die
+           here with a line number, not downstream without one. *)
+        let step op rename =
+          match D.apply nb.graph op with
+          | Error msg -> err i (col_at cs 0) "%s" msg
+          | Ok graph -> consume (rename { nb with graph }) (op :: ops) rest
+        in
+        (match toks with
+        | [ "+edge"; a; b ] -> (
+          match (left (col_at cs 1) a, right (col_at cs 2) b) with
+          | Ok la, Ok rb -> step (D.Add_edge (la, rb)) Fun.id
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+        | [ "-edge"; a; b ] -> (
+          match (left (col_at cs 1) a, right (col_at cs 2) b) with
+          | Ok la, Ok rb -> step (D.Remove_edge (la, rb)) Fun.id
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+        | "+relation" :: name :: attrs ->
+          if
+            index_of nb.left_names name <> None
+            || index_of nb.right_names name <> None
+          then err i (col_at cs 1) "duplicate node name '%s'" name
+          else
+            let rec resolve set k = function
+              | [] -> Ok set
+              | a :: more -> (
+                match left (col_at cs k) a with
+                | Ok la -> resolve (Iset.add la set) (k + 1) more
+                | Error e -> Error e)
+            in
+            (match resolve Iset.empty 2 attrs with
+            | Error e -> Error e
+            | Ok set ->
+              step (D.Add_relation set) (fun nb ->
+                  {
+                    nb with
+                    right_names = Array.append nb.right_names [| name |];
+                  }))
+        | [ "-relation"; name ] -> (
+          match right (col_at cs 1) name with
+          | Error e -> Error e
+          | Ok j ->
+            step (D.Remove_relation j) (fun nb ->
+                { nb with right_names = remove_at j nb.right_names }))
+        | t :: _ -> err i (col_at cs 0) "unknown delta directive '%s'" t
+        | [] -> err i 0 "empty line slipped through")
+    in
+    consume nb [] lines
+
 let query_of_string_unguarded text =
   let words =
     String.split_on_char ' ' text
@@ -328,6 +403,7 @@ let hypergraph_of_string = guarded hypergraph_of_string_unguarded
 let database_of_string ?semantics text =
   guarded (database_of_string_unguarded ?semantics) text
 let query_of_string = guarded query_of_string_unguarded
+let deltas_of_string nb text = guarded (deltas_of_string_unguarded nb) text
 
 let name_set nb names =
   let module B = Bipartite.Bigraph in

@@ -25,6 +25,15 @@
     edge  e2  b c d
     v}
 
+    Delta files (applied against a bipartite graph file's schema):
+    {v
+    deltas
+    +edge A r1
+    -edge B r1
+    +relation r9 A C
+    -relation r2
+    v}
+
     Node/relation names may be any whitespace-free strings; [left] and
     [right] lines may repeat and accumulate. *)
 
@@ -76,6 +85,21 @@ val database_of_string :
     v}
     Under the default [Set] semantics duplicate [row] lines collapse;
     pass [~semantics:Bag] to preserve multiplicities. *)
+
+val deltas_of_string :
+  named_bigraph ->
+  string ->
+  (Bipartite.Delta.op list * named_bigraph, error) result
+(** Parse a delta file against the given schema, resolving each line's
+    names in the schema {e as evolved by the preceding lines} — a
+    [+relation] three lines up is a legal [+edge] endpoint here. The
+    returned index ops are exactly what [Delta.apply_all] (and the
+    engine's [Compiled.apply_deltas]) expect, and the returned
+    [named_bigraph] is the fully evolved schema with its name tables
+    ([+relation] appends a right name, [-relation] removes one;
+    duplicate names are rejected). Typed [Parse_error] with line/col
+    on unknown directives, unknown names, or an op the engine would
+    reject (out-of-range index). *)
 
 val query_of_string :
   string -> (string list * (string * string) list, error) result

@@ -42,10 +42,16 @@ let default_config =
     drain_timeout_ms = 2_000;
   }
 
+(* The schema of record. Immutable as a value — a delta builds a new
+   state and swaps the cell, so an inflight request keeps answering
+   against the plan it started with while new requests pick up the
+   evolved one at their next dispatch. *)
+type plan_state = { nb : Parse.named_bigraph; compiled : Compiled.t }
+
 type t = {
   cfg : config;
-  nb : Parse.named_bigraph;
-  compiled : Compiled.t;
+  state : plan_state Atomic.t;
+  delta_lock : Mutex.t;  (* serializes /schema/delta writers *)
   metrics : Metrics.t;
   trace : Trace.t;
   trace_lock : Mutex.t;
@@ -67,6 +73,7 @@ type t = {
   c_errors : Metrics.counter;
   c_epipe : Metrics.counter;
   c_drain_forced : Metrics.counter;
+  c_deltas : Metrics.counter;
   h_latency : Metrics.histogram;
 }
 
@@ -77,14 +84,19 @@ let metrics t = t.metrics
 let latency_bounds_us =
   [| 50.; 100.; 250.; 500.; 1000.; 2500.; 5000.; 25000.; 100000.; 1000000. |]
 
-let create ?(config = default_config) ?cache ?(metrics = Metrics.disabled)
-    ?(trace = Trace.disabled) nb =
+let create ?(config = default_config) ?cache ?compiled
+    ?(metrics = Metrics.disabled) ?(trace = Trace.disabled) nb =
   (* A peer that hangs up mid-response must surface as EPIPE on the
      write, not as a fatal signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  let compiled, _ =
-    Cache.Plan_cache.find_or_compile ~trace ~metrics ?cache nb.Parse.graph
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None ->
+      fst
+        (Cache.Plan_cache.find_or_compile ~trace ~metrics ?cache
+           nb.Parse.graph)
   in
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
@@ -114,8 +126,8 @@ let create ?(config = default_config) ?cache ?(metrics = Metrics.disabled)
       Ok
         {
           cfg = config;
-          nb;
-          compiled;
+          state = Atomic.make { nb; compiled };
+          delta_lock = Mutex.create ();
           metrics;
           trace;
           trace_lock = Mutex.create ();
@@ -137,6 +149,7 @@ let create ?(config = default_config) ?cache ?(metrics = Metrics.disabled)
           c_errors = Metrics.counter metrics "serve.errors";
           c_epipe = Metrics.counter metrics "serve.epipe";
           c_drain_forced = Metrics.counter metrics "serve.drain_forced";
+          c_deltas = Metrics.counter metrics "serve.deltas";
           h_latency =
             Metrics.histogram metrics ~bounds:latency_bounds_us
               "serve.request_us";
@@ -161,7 +174,7 @@ let split_terminals body =
   |> String.split_on_char ' '
   |> List.filter (fun s -> s <> "")
 
-let solve_response t session body =
+let solve_response t st session body =
   (* Pressure mode: above the watermark, answer from cheaper ladder
      rungs instead of queueing up full-price work. The tiny fuel
      budget makes the ladder itself do the degrading, and the response
@@ -185,7 +198,7 @@ let solve_response t session body =
       ~headers:(("X-Minconn-Code", "4") :: pressure_headers)
       "error: empty terminal set\n"
   | names -> (
-    match Parse.name_set t.nb names with
+    match Parse.name_set st.nb names with
     | Error n ->
       text 400
         ~headers:(("X-Minconn-Code", "4") :: pressure_headers)
@@ -218,11 +231,73 @@ let solve_response t session body =
                ("X-Minconn-Degraded", string_of_bool degraded);
              ]
             @ pressure_headers)
-          (Render.solution_block t.nb s)))
+          (Render.solution_block st.nb s)))
 
-let dispatch t session (req : Http.request) =
+(* POST /schema/delta: parse the delta file against the current
+   schema of record, patch the compiled plan component-by-component,
+   and publish the evolved state. Writers serialize on [delta_lock];
+   readers are lock-free — an inflight request finishes on the plan
+   it started with, the next request on its connection picks up the
+   swap. *)
+let delta_response t body =
+  Mutex.lock t.delta_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.delta_lock) @@ fun () ->
+  let st = Atomic.get t.state in
+  match Parse.deltas_of_string st.nb body with
+  | Error e ->
+    text 400
+      ~headers:
+        [
+          ("X-Minconn-Error", "bad-delta");
+          ("X-Minconn-Code", string_of_int (Errors.exit_code e));
+        ]
+      (Render.error_line e)
+  | Ok (ops, nb) -> (
+    match Compiled.apply_deltas ~metrics:t.metrics st.compiled ops with
+    | Error msg ->
+      text 400
+        ~headers:[ ("X-Minconn-Error", "bad-delta"); ("X-Minconn-Code", "4") ]
+        ("error: " ^ msg ^ "\n")
+    | Ok (compiled, stats) ->
+      Atomic.set t.state { nb; compiled };
+      Metrics.incr t.c_deltas;
+      let fallback = List.exists (fun s -> s.Compiled.fallback) stats in
+      let recompiled =
+        List.concat_map (fun s -> s.Compiled.recompiled) stats
+        |> List.sort_uniq compare
+      in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (s : Compiled.delta_stats) ->
+          Buffer.add_string buf
+            (Printf.sprintf "delta %s: %s\n"
+               (Bipartite.Delta.to_string s.Compiled.op)
+               (if s.Compiled.noop then "noop"
+                else if s.Compiled.fallback then "recompiled all components"
+                else
+                  Printf.sprintf "recompiled %d component%s, reused %d"
+                    (List.length s.Compiled.recompiled)
+                    (if List.length s.Compiled.recompiled = 1 then "" else "s")
+                    s.Compiled.reused)))
+        stats;
+      Buffer.add_string buf
+        (Printf.sprintf "schema evolved: %d deltas, %d components\n"
+           (List.length ops)
+           (Compiled.n_components compiled));
+      text 200
+        ~headers:
+          [
+            ( "X-Minconn-Recompiled-Components",
+              if fallback then "all"
+              else String.concat "," (List.map string_of_int recompiled) );
+            ("X-Minconn-Deltas", string_of_int (List.length ops));
+          ]
+        (Buffer.contents buf))
+
+let dispatch t st session (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
-  | "POST", "/solve" -> solve_response t session req.Http.body
+  | "POST", "/solve" -> solve_response t st session req.Http.body
+  | "POST", "/schema/delta" -> delta_response t req.Http.body
   | "GET", "/metrics" -> text 200 (Export.metrics_json t.metrics)
   | "GET", "/trace" ->
     Mutex.lock t.trace_lock;
@@ -234,16 +309,17 @@ let dispatch t session (req : Http.request) =
       (Printf.sprintf "%s inflight=%d\n"
          (if Atomic.get t.stopping then "draining" else "ok")
          (Atomic.get t.inflight))
-  | _, "/solve" -> text 405 ~headers:[ ("Allow", "POST") ] "error: use POST\n"
+  | _, "/solve" | _, "/schema/delta" ->
+    text 405 ~headers:[ ("Allow", "POST") ] "error: use POST\n"
   | _, _ -> text 404 "error: not found\n"
 
 (* The poisoned-handler boundary: whatever a handler raises — injected
    fault or real bug — becomes a 500 on this connection and nothing
    more. The listener and every other connection keep serving. *)
-let handle_request t session req =
+let handle_request t st session req =
   match
     Fault.check_op "serve.handler";
-    dispatch t session req
+    dispatch t st session req
   with
   | resp -> resp
   | exception e ->
@@ -264,7 +340,11 @@ let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let handle_conn t id fd =
   let conn = Http.conn fd in
   let tfork = Trace.fork t.trace in
-  let session = Session.create ~trace:tfork ~metrics:t.metrics t.compiled in
+  let session =
+    ref
+      (Session.create ~trace:tfork ~metrics:t.metrics
+         (Atomic.get t.state).compiled)
+  in
   let finally () =
     close_quiet fd;
     Mutex.lock t.conns_lock;
@@ -308,7 +388,13 @@ let handle_conn t id fd =
       | Ok req -> (
         Metrics.incr t.c_requests;
         let t0 = Unix.gettimeofday () in
-        let resp = handle_request t session req in
+        (* Resync to the published plan: a physical no-op between
+           deltas, a scratch rebuild right after one. The snapshot
+           [st] pins one coherent (names, plan) pair for this
+           request. *)
+        let st = Atomic.get t.state in
+        session := Session.with_plan !session st.compiled;
+        let resp = handle_request t st !session req in
         Metrics.observe t.h_latency ((Unix.gettimeofday () -. t0) *. 1e6);
         let keep =
           req.Http.keep_alive && resp.Http.status < 500

@@ -35,8 +35,14 @@
 
     Endpoints: [POST /solve] (body = one terminal set, names separated
     by commas/whitespace; answer is byte-identical to the CLI batch
-    block for the same query), [GET /metrics] (minconn-metrics/1 JSON),
-    [GET /trace] (NDJSON span stream), [GET /healthz]. *)
+    block for the same query), [POST /schema/delta] (body = a delta
+    file — see {!Mc_io.Parse.deltas_of_string}; patches the compiled
+    plan component-by-component and hot-swaps the schema of record
+    without dropping inflight requests, answering with
+    [X-Minconn-Recompiled-Components] and a per-delta summary; [400]
+    with [X-Minconn-Error: bad-delta] leaves the schema untouched),
+    [GET /metrics] (minconn-metrics/1 JSON), [GET /trace] (NDJSON
+    span stream), [GET /healthz]. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -66,14 +72,17 @@ type t
 val create :
   ?config:config ->
   ?cache:Cache.Plan_cache.t ->
+  ?compiled:Engine.Compiled.t ->
   ?metrics:Observe.Metrics.t ->
   ?trace:Observe.Trace.t ->
   Mc_io.Parse.named_bigraph ->
   (t, string) result
 (** Compile (or load from [cache]) the schema once, bind and listen.
-    [Error msg] on bind/listen failure. Also ignores SIGPIPE
-    process-wide: a dead peer must surface as a typed write error,
-    never a fatal signal. *)
+    [compiled] supplies a pre-built plan for [nb] instead — the CLI's
+    [serve --deltas] path hands over the evolved plan it obtained via
+    the cache's patch rung. [Error msg] on bind/listen failure. Also
+    ignores SIGPIPE process-wide: a dead peer must surface as a typed
+    write error, never a fatal signal. *)
 
 val port : t -> int
 (** The bound port (useful with [config.port = 0]). *)

@@ -243,7 +243,8 @@ let reenvelope entry payload =
   let schema =
     Filename.chop_suffix (Filename.basename entry) ".plan"
   in
-  Printf.sprintf "minconn-plan/1\n%s\nschema %s\nlength %d\ndigest %s\n%s"
+  Printf.sprintf
+    "minconn-plan/2\n%s\nschema %s\njournal -\nlength %d\ndigest %s\n%s"
     commit_line schema (String.length payload)
     (Digest.to_hex (Digest.string payload))
     payload
@@ -287,6 +288,32 @@ let corruption_cases =
         write_file entry
           (String.sub blob 0 (nl + 1) ^ "commit someone-elses-build" ^ rest)
     );
+    ( "delta journal line truncated",
+      "truncated",
+      fun entry blob ->
+        (* Keep magic, commit and schema lines; cut the envelope at
+           the journal line. *)
+        let upto =
+          let rec skip i k =
+            if k = 0 then i else skip (String.index_from blob i '\n' + 1) (k - 1)
+          in
+          skip 0 3
+        in
+        write_file entry (String.sub blob 0 upto) );
+    ( "journal from a different delta sequence",
+      "delta-mismatch",
+      fun entry blob ->
+        (* A fresh lookup must refuse an entry whose journal line
+           records some delta lineage: same base schema, different
+           schema of record. *)
+        let lines = String.split_on_char '\n' blob in
+        let rewritten =
+          List.mapi
+            (fun i l ->
+              if i = 3 then "journal " ^ String.make 32 'd' else l)
+            lines
+        in
+        write_file entry (String.concat "\n" rewritten) );
     ( "entry filed under wrong schema",
       "schema-mismatch",
       fun entry blob ->
@@ -316,7 +343,7 @@ let corruption_cases =
           let rec skip i k =
             if k = 0 then i else skip (String.index_from blob i '\n' + 1) (k - 1)
           in
-          skip 0 5
+          skip 0 6
         in
         let payload = String.sub blob nl4 (String.length blob - nl4) in
         let cut = String.sub payload 0 (String.length payload / 2) in
@@ -555,6 +582,76 @@ let test_counters () =
   check "second lookup hits" true (count "cache.hit" = 1);
   check "no spurious second store" true (count "cache.store" = 1)
 
+(* --------------------------------------------- evolved-plan entries *)
+
+(* The delta-aware lookup ladder: exact evolved entry -> patch the
+   base schema's cached plan -> cold compile of the evolved schema.
+   Every rung stores under the evolved key [<base>+<journal>.plan],
+   and a patched plan answers exactly like a fresh compile of the
+   evolved schema. Also the satellite contract for the typed miss: an
+   entry whose journal hash disagrees with the lookup's reads as
+   [delta-mismatch], never a hit. *)
+let test_evolved_cache () =
+  let rng = Workloads.Rng.make ~seed:4242 in
+  let g, _ = test_graph () in
+  with_cache @@ fun _dir cache ->
+  let metrics = Observe.Metrics.make () in
+  let count name =
+    match List.assoc_opt name (Observe.Metrics.counters metrics) with
+    | Some n -> n
+    | None -> 0
+  in
+  let apply_all deltas =
+    match Minconn.Delta.apply_all g deltas with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deltas do not apply: %s" m
+  in
+  let deltas = [ Minconn.Delta.Add_relation (Iset.of_list [ 0; 1 ]) ] in
+  let target = apply_all deltas in
+  (match PC.find_evolved cache ~base:g ~deltas with
+  | Ok _ -> Alcotest.fail "evolved entry cannot exist yet"
+  | Error m -> check_string "cold evolved miss" "absent" (PC.miss_name m));
+  (* Rung 3 (cold): nothing cached at all -> compile the evolved
+     schema, store it under the evolved key. *)
+  let c1, o1 = PC.find_or_compile ~metrics ~cache ~deltas g in
+  check "cold delta lookup is a miss" true (o1 = `Miss);
+  check "cold delta lookup compiles the evolved schema" true
+    (Minconn.Bigraph.equal (Minconn.Compiled.graph c1) target);
+  (* Rung 1 (exact): the store above makes the next lookup a hit... *)
+  let _c2, o2 = PC.find_or_compile ~metrics ~cache ~deltas g in
+  check "evolved entry is an exact hit" true (o2 = `Hit);
+  (* ...without ever creating a fresh entry for the base schema. *)
+  check_string "fresh lookup unaffected by evolved entries" "absent"
+    (find_miss cache g);
+  (* Rung 2 (patch): with the base's fresh plan cached, a new delta
+     sequence is served by patching it, not recompiling. *)
+  store_ok cache (Minconn.Compiled.compile g);
+  let deltas2 = [ Minconn.Delta.Add_relation (Iset.of_list [ 0 ]) ] in
+  let target2 = apply_all deltas2 in
+  let c3, o3 = PC.find_or_compile ~metrics ~cache ~deltas:deltas2 g in
+  check "served by patching the cached base plan" true (o3 = `Patched);
+  check "patch counted" true (count "cache.patched" = 1);
+  let u2 = Bigraph.ugraph target2 in
+  let p2 = Workloads.Gen_bipartite.random_terminals rng target2 ~k:3 in
+  let fresh2 = Minconn.Compiled.compile target2 in
+  let want = Minconn.Session.query (Minconn.Session.create fresh2) ~p:p2 in
+  let got = Minconn.Session.query (Minconn.Session.create c3) ~p:p2 in
+  check "patched plan answers like the fresh compile" true
+    (result_equal u2 ~p:p2 want got);
+  (* The patched plan was stored under its evolved key: exact hit. *)
+  let _c4, o4 = PC.find_or_compile ~metrics ~cache ~deltas:deltas2 g in
+  check "patched entry now an exact hit" true (o4 = `Hit);
+  (match PC.find_evolved cache ~base:g ~deltas:deltas2 with
+  | Ok c -> check "find_evolved loads the patched plan" true
+      (Minconn.Bigraph.equal (Minconn.Compiled.graph c) target2)
+  | Error m -> Alcotest.failf "find_evolved: %s" (PC.miss_name m));
+  (* Typed miss: an evolved entry misfiled under the base's fresh
+     name has a matching schema line but a foreign journal hash. *)
+  let evolved_file = PC.evolved_path cache ~base:g ~deltas:deltas2 in
+  write_file (PC.entry_path cache g) (read_file evolved_file);
+  check_string "misfiled evolved entry is a delta-mismatch"
+    "delta-mismatch" (find_miss cache g)
+
 (* ------------------------------- marshal-safety regression (fixtures) *)
 
 (* Every figure graph and every checked-in fixture must survive
@@ -655,6 +752,11 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "rename retried once and counted" `Quick
             test_rename_retry;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "evolved-plan lookup ladder" `Quick
+            test_evolved_cache;
         ] );
       ( "marshal-safety",
         [

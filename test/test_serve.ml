@@ -165,6 +165,68 @@ let test_endpoints () =
   check_int "unknown path is 404" 404 (get "/nope").Http.code;
   check_int "GET /solve is 405" 405 (get "/solve").Http.code
 
+(* ---------------------------------------------------- schema delta *)
+
+let test_schema_delta () =
+  with_server @@ fun nb srv metrics ->
+  let port = Server.port srv in
+  let fd = connect port in
+  let conn = Http.conn fd in
+  let delta_text = "deltas\n+relation 4 A C\n+edge B 4\n" in
+  (* A malformed delta file must bounce typed and leave the schema
+     of record untouched. *)
+  send fd (request ~path:"/schema/delta" "deltas\n+edge A nosuch\n");
+  let bad = recv conn in
+  check_int "bad delta is 400" 400 bad.Http.code;
+  check_str "bad delta is typed" "bad-delta"
+    (Option.value ~default:"?" (hdr bad "x-minconn-error"));
+  let before = post fd conn "A,C" in
+  check_int "schema still serves after rejected delta" 200 before.Http.code;
+  (* Now the real evolution: grow relation 4 over {A, C} and wire B
+     onto it. *)
+  send fd (request ~path:"/schema/delta" delta_text);
+  let r = recv conn in
+  check_int "delta applied" 200 r.Http.code;
+  check_str "delta count header" "2"
+    (Option.value ~default:"?" (hdr r "x-minconn-deltas"));
+  check "recompiled-components header present" true
+    (hdr r "x-minconn-recompiled-components" <> None);
+  (* Answers after the swap are byte-identical to a fresh compile of
+     the evolved schema — same discipline as the round-trip test. *)
+  let evolved =
+    match Mc_io.Parse.deltas_of_string nb delta_text with
+    | Ok (_, nb') -> nb'
+    | Error e ->
+      Alcotest.fail
+        ("delta text does not parse: " ^ Runtime.Errors.to_string e)
+  in
+  let expected =
+    let compiled = Minconn.Compiled.compile evolved.Mc_io.Parse.graph in
+    let session = Minconn.Session.create compiled in
+    let p =
+      match Mc_io.Parse.name_set evolved [ "A"; "C" ] with
+      | Ok p -> p
+      | Error _ -> Alcotest.fail "name_set"
+    in
+    match Minconn.Session.query session ~p with
+    | Ok s -> Serve.Render.solution_block evolved s
+    | Error _ -> Alcotest.fail "direct query on evolved schema failed"
+  in
+  let after = post fd conn "A,C" in
+  check_int "post-swap solve" 200 after.Http.code;
+  check_str "post-swap answer matches evolved compile" expected
+    after.Http.resp_body;
+  (* The keep-alive connection above already resynced; a fresh
+     connection must see the evolved schema too. *)
+  let fd2 = connect port in
+  let conn2 = Http.conn fd2 in
+  let fresh = post fd2 conn2 "A,C" in
+  check_str "fresh connection sees evolved schema" expected
+    fresh.Http.resp_body;
+  Unix.close fd2;
+  Unix.close fd;
+  check_int "deltas counted" 1 (counter metrics "serve.deltas")
+
 (* -------------------------------------------------------- overload *)
 
 let test_overload_sheds_fast () =
@@ -377,6 +439,7 @@ let () =
         [
           Alcotest.test_case "solve round trip" `Quick test_round_trip;
           Alcotest.test_case "observability endpoints" `Quick test_endpoints;
+          Alcotest.test_case "schema delta hot-swap" `Quick test_schema_delta;
         ] );
       ( "overload",
         [
