@@ -879,9 +879,14 @@ let validate_bench_json path =
     match (str "schema", str "section", str "commit", J.member "entries" j) with
     | Some s, _, _, _ when s <> bench_schema -> Error ("unexpected schema: " ^ s)
     | _, _, Some "", _ -> Error "empty commit id"
-    | Some _, Some _, Some _, Some (J.Jarr entries) when entries <> [] -> (
+    | Some _, Some sec, Some _, Some (J.Jarr entries) when entries <> [] -> (
       match J.member "domains" j with
       | Some (J.Jnum d) when d >= 1.0 && Float.is_integer d ->
+        let num_ok fields k =
+          match List.assoc_opt k fields with
+          | Some (J.Jnum v) -> v >= 0.0
+          | _ -> false
+        in
         let entry_ok = function
           | J.Jobj fields -> (
             match
@@ -891,7 +896,28 @@ let validate_bench_json path =
             | _ -> false)
           | _ -> false
         in
-        if List.for_all entry_ok entries then Ok (List.length entries)
+        (* The scale section carries mandatory memory/throughput extras:
+           every entry reports its peak heap, and construction entries
+           additionally report edge throughput. *)
+        let has_sub ~sub s =
+          let n = String.length s and k = String.length sub in
+          let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+          go 0
+        in
+        let scale_ok = function
+          | J.Jobj fields ->
+            num_ok fields "peak_heap_words"
+            && (match List.assoc_opt "name" fields with
+               | Some (J.Jstr name) ->
+                 (not (has_sub ~sub:"construct" name))
+                 || num_ok fields "edges_per_sec"
+               | _ -> false)
+          | _ -> false
+        in
+        if
+          List.for_all entry_ok entries
+          && (sec <> "scale" || List.for_all scale_ok entries)
+        then Ok (List.length entries)
         else Error "malformed entry"
       | _ -> Error "missing or invalid domains field")
     | _ -> Error "missing schema/section/commit or nonempty entries")
@@ -1588,28 +1614,24 @@ let serve_percentile sorted p =
     let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) rank))
 
-(* Terminal-set pool: random node subsets kept only when the in-process
-   solver accepts them, rendered through the same name table the
-   server resolves against — every benched request is a real answer,
-   never a 4xx. *)
+(* Terminal-set pool, drawn from the workload generator: terminals come
+   from the largest connected component ([random_terminals]), so every
+   request is answerable — the MST rung is total on connected terminal
+   sets — without the old draw-and-pre-solve rejection loop. Rendered
+   through the same name table the server resolves against, so every
+   benched request is a real answer, never a 4xx. *)
 let serve_query_pool nb =
   let g = nb.Mc_io.Parse.graph in
-  let n = Bigraph.n g in
   let rng = trial ~section:"serve-queries" 1 in
   let pool = ref [] in
-  let tries = ref 0 in
-  while List.length !pool < 4 && !tries < 500 do
-    incr tries;
+  for _ = 1 to 8 do
     let k = 2 + Workloads.Rng.int rng 3 in
-    let p = Iset.of_list (List.init k (fun _ -> Workloads.Rng.int rng n)) in
+    let p = Workloads.Gen_bipartite.random_terminals rng g ~k in
     if Iset.cardinal p >= 2 then
-      match Minconn.solve g ~p with
-      | Ok _ ->
-        pool :=
-          String.concat " "
-            (List.map (Serve.Render.name_of nb) (Iset.elements p))
-          :: !pool
-      | Error _ -> ()
+      pool :=
+        String.concat " "
+          (List.map (Serve.Render.name_of nb) (Iset.elements p))
+        :: !pool
   done;
   if !pool = [] then (
     Printf.eprintf "serve bench: no solvable terminal sets found\n";
@@ -1940,6 +1962,152 @@ let evolve_section ~trials ~max_n ~json_path () =
   write_bench_json ~section:"evolve" ~trials ~max_n ~path:json_path !rows
 
 (* ------------------------------------------------------------------ *)
+(* Section: scale                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Million-node construction / compile / query pass over the streaming
+   Gen_scale families. Each (family, n) point times:
+
+     construct-direct — edge stream -> CSR ([Bigraph.of_edge_iter]),
+       the direct path, with edges/sec throughput;
+     construct-sets   — the pre-CSR baseline (materialise the edge
+       list, one AVL insertion per directed edge, then
+       [Csr.of_ugraph]), run on every rung up to 10^6; the sets/direct
+       ns_per_op ratio is the headline number;
+     compile          — [Compiled.compile] off the cached CSR;
+     query-first      — [Session.create] plus a query burst against a
+       plan whose set-view cache is cold ([Bigraph.compact] resets the
+       cache without copying the CSR arrays), i.e. the one-off lazy
+       AVL-derivation cost the stream path defers to first use;
+     query-warm       — the same burst on a warm session.
+
+   Every row carries a [peak_heap_words] extra from [Gc.quick_stat] —
+   the process heap high-water mark, monotone across rows, so within
+   one run each row bounds the memory its stage needed (methodology in
+   EXPERIMENTS.md). The ladder has its own cap ([--scale-max-n],
+   default 10^6) independent of the global [--max-n], which other
+   sections keep in the hundreds. *)
+
+let scale_families =
+  [
+    Workloads.Gen_scale.Forest;
+    Workloads.Gen_scale.Chordal62;
+    Workloads.Gen_scale.Alpha;
+  ]
+
+let scale_section ~trials ~scale_max_n ~json_path () =
+  header "scale: stream-to-CSR construction vs the set-based path";
+  let ladder =
+    match List.filter (fun x -> x <= scale_max_n) [ 100_000; 1_000_000 ] with
+    | [] -> [ max 1_000 scale_max_n ]
+    | l -> l
+  in
+  let rows = ref [] in
+  let peak () = float_of_int (Gc.quick_stat ()).Gc.top_heap_words in
+  let entry ~family ~kind ~n ~m ~ms extras =
+    let name, ns, base =
+      timed_entry ~section:"scale" ~impl:(family ^ "/" ^ kind) ~n ~m ~ms
+    in
+    rows :=
+      !rows
+      @ [
+          ( name,
+            ns,
+            base
+            @ ("peak_heap_words", Observe.Json.Jnum (peak ())) :: extras );
+        ]
+  in
+  List.iter
+    (fun fam ->
+      let fname = Workloads.Gen_scale.family_name fam in
+      List.iter
+        (fun target ->
+          let inst = Workloads.Gen_scale.make fam ~target_n:target ~seed:2026 in
+          let n = Workloads.Gen_scale.n inst in
+          let m = Workloads.Gen_scale.m inst in
+          let eps ms =
+            ( "edges_per_sec",
+              Observe.Json.Jnum
+                (if ms > 0.0 then float_of_int m /. (ms /. 1000.0) else 0.0) )
+          in
+          (* Construction is orders of magnitude cheaper to time than
+             compile, and on this 1-core host a major collection of the
+             *previous* rung's plan garbage landing inside the timed
+             region skews the headline ratio by an order of magnitude —
+             so each construct row starts from a compacted heap and
+             gets at least 5 trials of its own. *)
+          let ctrials = max trials 5 in
+          Gc.compact ();
+          let ms_direct =
+            time_mean ~trials:ctrials (fun () ->
+                Workloads.Gen_scale.to_bigraph inst)
+          in
+          entry ~family:fname ~kind:"construct-direct" ~n ~m ~ms:ms_direct
+            [ eps ms_direct ];
+          (* [make] overshoots the target by up to one block, so the cap
+             sits just above the 10^6 rung. *)
+          if n <= 1_001_000 then begin
+            Gc.compact ();
+            let ms_sets =
+              time_mean ~trials:ctrials (fun () ->
+                  Bigraph.csr (Workloads.Gen_scale.to_bigraph_sets inst))
+            in
+            entry ~family:fname ~kind:"construct-sets" ~n ~m ~ms:ms_sets
+              [ eps ms_sets ];
+            Printf.printf "-- %-9s n=%-8d construct sets/direct = %.1fx\n%!"
+              fname n (ms_sets /. ms_direct)
+          end;
+          let g = Workloads.Gen_scale.to_bigraph inst in
+          let ms_compile =
+            time_mean ~trials (fun () -> Minconn.Compiled.compile g)
+          in
+          let plan = Minconn.Compiled.compile g in
+          entry ~family:fname ~kind:"compile" ~n ~m ~ms:ms_compile
+            [
+              ( "components",
+                Observe.Json.Jnum
+                  (float_of_int (Minconn.Compiled.n_components plan)) );
+            ];
+          let blocks = Workloads.Gen_scale.n_blocks inst in
+          let queries =
+            List.init 8 (fun i ->
+                Workloads.Gen_scale.block_terminals inst
+                  ~block:(i * blocks / 8) ~k:3)
+          in
+          let run_queries s =
+            List.iter
+              (fun p ->
+                match Minconn.Session.query s ~p with
+                | Ok _ -> ()
+                | Error _ -> failwith "scale bench: query failed")
+              queries
+          in
+          let ms_first =
+            time_mean ~trials (fun () ->
+                let plan' =
+                  {
+                    plan with
+                    Minconn.Compiled.graph =
+                      Bigraph.compact plan.Minconn.Compiled.graph;
+                  }
+                in
+                run_queries (Minconn.Session.create plan'))
+          in
+          entry ~family:fname ~kind:"query-first" ~n ~m ~ms:ms_first [];
+          let s = Minconn.Session.create plan in
+          let ms_warm = time_mean ~trials (fun () -> run_queries s) in
+          entry ~family:fname ~kind:"query-warm" ~n ~m ~ms:ms_warm [];
+          Printf.printf
+            "%-9s n=%-8d m=%-8d direct=%.1fms compile=%.1fms first=%.1fms \
+             warm=%.3fms\n\
+             %!"
+            fname n m ms_direct ms_compile ms_first ms_warm)
+        ladder)
+    scale_families;
+  write_bench_json ~section:"scale" ~trials ~max_n:scale_max_n ~path:json_path
+    !rows
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let trials = ref 5 and max_n = ref 384 in
@@ -1952,6 +2120,8 @@ let () =
   let relalg_json_path = ref "BENCH_relalg.json" in
   let serve_json_path = ref "BENCH_serve.json" in
   let evolve_json_path = ref "BENCH_evolve.json" in
+  let scale_json_path = ref "BENCH_scale.json" in
+  let scale_max_n = ref 1_000_000 in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--trials" :: v :: rest ->
@@ -1986,6 +2156,12 @@ let () =
       parse_args acc rest
     | "--evolve-json" :: v :: rest ->
       evolve_json_path := v;
+      parse_args acc rest
+    | "--scale-json" :: v :: rest ->
+      scale_json_path := v;
+      parse_args acc rest
+    | "--scale-max-n" :: v :: rest ->
+      scale_max_n := int_of_string v;
       parse_args acc rest
     | a :: rest -> parse_args (a :: acc) rest
   in
@@ -2052,6 +2228,10 @@ let () =
         fun () ->
           evolve_section ~trials:!trials ~max_n:!max_n
             ~json_path:!evolve_json_path () );
+      ( "scale",
+        fun () ->
+          scale_section ~trials:!trials ~scale_max_n:!scale_max_n
+            ~json_path:!scale_json_path () );
     ]
   in
   let wanted = parse_args [] (List.tl (Array.to_list Sys.argv)) in

@@ -1188,9 +1188,25 @@ let generate_cmd =
       | "gnp" ->
         Workloads.Gen_bipartite.gnp rng ~nl:size ~nr:size ~p:0.3
       | other ->
-        prerr_endline
-          ("unknown class '" ^ other ^ "' (use forest|62|61|alpha|gnp)");
-        exit exit_input_error
+        (* scale-<family>: the streaming bounded-degree generators.
+           [size] is the total node target, not a per-side count, and
+           construction goes edge-stream -> CSR, so large instances are
+           cheap to build (writing them out as text is the slow part). *)
+        (match
+           match String.index_opt other '-' with
+           | Some 5 when String.sub other 0 5 = "scale" ->
+             Workloads.Gen_scale.family_of_string
+               (String.sub other 6 (String.length other - 6))
+           | _ -> None
+         with
+        | Some fam ->
+          Workloads.Gen_scale.to_bigraph
+            (Workloads.Gen_scale.make fam ~target_n:size ~seed)
+        | None ->
+          prerr_endline
+            ("unknown class '" ^ other
+           ^ "' (use forest|62|61|alpha|gnp|scale-forest|scale-chordal62|scale-alpha)");
+          exit exit_input_error)
     in
     let nb =
       {
@@ -1207,7 +1223,10 @@ let generate_cmd =
     Arg.(
       value & opt string "62"
       & info [ "c"; "class" ] ~docv:"CLASS"
-          ~doc:"forest, 62, 61, alpha or gnp")
+          ~doc:
+            "forest, 62, 61, alpha, gnp, or a streaming scale family \
+             (scale-forest, scale-chordal62, scale-alpha; $(b,--size) is \
+             then the total node target)")
   in
   let seed = Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED") in
   let size = Arg.(value & opt int 8 & info [ "n"; "size" ] ~docv:"N") in

@@ -2,10 +2,16 @@
 
     Left nodes ([V1], indices [0 .. nl-1]) model the paper's attribute /
     lower conceptual level; right nodes ([V2], indices [0 .. nr-1])
-    model relations / higher level. Internally the graph is a plain
-    {!Graphs.Ugraph.t} on [nl + nr] nodes with right node [j] stored at
-    index [nl + j], so every generic graph algorithm applies directly;
-    this module maintains the bipartition invariant and provides typed
+    model relations / higher level. Internally the graph lives on
+    [nl + nr] underlying nodes with right node [j] stored at index
+    [nl + j], in {e either} adjacency form: the set-based
+    {!Graphs.Ugraph.t} or the flat {!Graphs.Csr.t}. Whichever form a
+    constructor produced is kept; the other is derived lazily on first
+    use and cached (the caches are invisible: every function is pure on
+    the graph value). Stream construction ([of_edge_iter], [of_csr])
+    therefore never materialises per-node sets — the million-node fast
+    path — while set-based consumers still get [ugraph] on demand.
+    This module maintains the bipartition invariant and provides typed
     access. *)
 
 open Graphs
@@ -21,7 +27,29 @@ type node = L of int | R of int
 val create : nl:int -> nr:int -> t
 
 val of_edges : nl:int -> nr:int -> (int * int) list -> t
-(** Edges as (left index, right index) pairs. *)
+(** Edges as (left index, right index) pairs. Builder-based (linear in
+    n + m); kept as the convenient API for small callers. *)
+
+val of_edge_iter : nl:int -> nr:int -> ((int -> int -> unit) -> unit) -> t
+(** Direct-to-CSR stream construction: [iter f] calls [f i j] once per
+    (left, right) edge occurrence and must replay identically when
+    invoked twice (see [Csr.of_edge_iter]). Duplicates and arbitrary
+    order are fine; no set-based adjacency is ever built. *)
+
+val of_csr : nl:int -> nr:int -> Csr.t -> t
+(** Adopt a prebuilt CSR on [nl + nr] underlying nodes. Validates the
+    bipartition in O(m): every edge must cross the [nl] boundary. *)
+
+val of_bipartite_ugraph : nl:int -> Ugraph.t -> t
+(** Adopt a set-based graph already in bipartite layout (lefts below
+    [nl], rights above). Validates that every edge crosses the
+    boundary; [nr] is [Ugraph.n u - nl]. *)
+
+val compact : t -> t
+(** A canonical CSR-only copy: the set-based cache (whose AVL shape
+    depends on construction history) is dropped, so marshaling the
+    result is byte-reproducible for equal graphs. Used by the plan
+    serializer. *)
 
 val add_edge : t -> int -> int -> t
 (** [add_edge g i j] connects left [i] and right [j]. *)
@@ -54,8 +82,13 @@ val n : t -> int
 val m : t -> int
 
 val ugraph : t -> Ugraph.t
-(** The underlying graph; left node [i] is index [i], right node [j] is
-    index [nl + j]. *)
+(** The underlying set-based graph; left node [i] is index [i], right
+    node [j] is index [nl + j]. Derived from the CSR (linearly) and
+    cached on first call when the graph was stream-built. *)
+
+val csr : t -> Csr.t
+(** The underlying flat adjacency, same index layout. Derived and
+    cached on first call when the graph was set-built. *)
 
 val index : t -> node -> int
 val node_of_index : t -> int -> node
@@ -80,7 +113,11 @@ val left_neighbors : t -> int -> Iset.t
 (** [left_neighbors g j]: left indices adjacent to right node [j]. *)
 
 val edges : t -> (int * int) list
-(** As (left index, right index) pairs. *)
+(** As (left index, right index) pairs, ascending by left then right. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Same edges and order as {!edges} without building the list —
+    the million-edge-friendly form (schema hashing, streaming). *)
 
 val flip : t -> t
 (** Swap the two sides. *)

@@ -10,8 +10,6 @@ type component = {
 
 type t = {
   graph : Bigraph.t;
-  u : Ugraph.t;
-  csr : Csr.t;
   profile : Classify.profile;
   comp_id : int array;
   components : component array;
@@ -26,41 +24,50 @@ type delta_stats = {
 }
 
 let graph t = t.graph
-let ugraph t = t.u
-let csr t = t.csr
+let ugraph t = Bigraph.ugraph t.graph
+let csr t = Bigraph.csr t.graph
 let profile t = t.profile
 let n_components t = Array.length t.components
 
 (* ------------------------------------------------- serialization *)
 
 (* Canonical schema rendering: sizes plus the ascending edge list.
-   Bigraph.edges iterates left nodes in order and Iset ascending, so
-   two structurally equal graphs render identically whatever insertion
-   order built them. *)
+   Bigraph.iter_edges visits left nodes in order and neighbors
+   ascending, so two structurally equal graphs render identically
+   whatever insertion order built them — without materialising a
+   million-pair list. *)
 let schema_hash g =
   let b = Buffer.create 256 in
   Printf.bprintf b "bipartite %d %d" (Bigraph.nl g) (Bigraph.nr g);
-  List.iter (fun (i, j) -> Printf.bprintf b " %d-%d" i j) (Bigraph.edges g);
+  Bigraph.iter_edges g (fun i j -> Printf.bprintf b " %d-%d" i j);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* Marshal-safety audit (pinned by test/test_cache.ml): every field of
-   [t] is first-order data — Bigraph/Ugraph are records over
-   [Iset.t array] (Set.Make(Int): plain AVL blocks), Csr is int
-   arrays, Classify.profile is bools plus Acyclicity.degree variants,
-   and each component holds an Iset, an int list, a profile and an
-   [(Algorithm1.prep, error) result] whose prep is {comp; w_order} —
-   no closures, lazies or custom blocks anywhere. The lazy compiled
-   handles live in Datamodel.Schema/Layered (outside [t]) and the
-   mutable solver scratch lives in Session, rebuilt by
-   [Session.create]; neither is ever marshaled. *)
-let to_bytes t = Marshal.to_string t [ Marshal.No_sharing ]
+   [t] is first-order data — Bigraph is a record of ints and optional
+   Ugraph ([Iset.t array]; Set.Make(Int): plain AVL blocks) / Csr (int
+   arrays) views, Classify.profile is bools plus Acyclicity.degree
+   variants, and each component holds an Iset, an int list, a profile
+   and an [(Algorithm1.prep, error) result] whose prep is
+   {comp; w_order} — no closures, lazies or custom blocks anywhere.
+   The lazy compiled handles live in Datamodel.Schema/Layered (outside
+   [t]) and the mutable solver scratch lives in Session, rebuilt by
+   [Session.create]; neither is ever marshaled.
+
+   The graph is compacted to its canonical CSR-only form first: the
+   set-based cache's AVL shape depends on construction history, and
+   dropping it keeps to_bytes byte-reproducible across equal plans
+   (pinned by test_cache's save/load round-trip). *)
+let to_bytes t =
+  Marshal.to_string
+    { t with graph = Bigraph.compact t.graph }
+    [ Marshal.No_sharing ]
 
 (* Structural sanity net under the payload checksum: catches an
    envelope that validated but framed bytes marshaled by an
    incompatible build into a plausible-looking block. *)
 let coherent t =
-  let n = Ugraph.n t.u in
-  Bigraph.n t.graph = n && Csr.n t.csr = n
+  let n = Bigraph.n t.graph in
+  Csr.n (Bigraph.csr t.graph) = n
   && Array.length t.comp_id = n
   && (let k = Array.length t.components in
       Array.for_all (fun c -> c >= 0 && c < k) t.comp_id)
@@ -119,18 +126,21 @@ let build_components ?pool ~trace graph comps =
 
 let compile ?pool ?(trace = Observe.Trace.disabled)
     ?(metrics = Observe.Metrics.disabled) graph =
-  let u = Bigraph.ugraph graph in
+  (* Force the flat adjacency before any domain fan-out: a stream-built
+     graph compiles straight off its CSR (the set view is never
+     touched), and the cache is filled before worker domains start
+     reading it. *)
+  let c = Bigraph.csr graph in
   Observe.Trace.span trace "compile"
     ~attrs:
       [
-        ("nodes", Observe.Trace.Int (Ugraph.n u));
-        ("edges", Observe.Trace.Int (Ugraph.m u));
+        ("nodes", Observe.Trace.Int (Csr.n c));
+        ("edges", Observe.Trace.Int (Csr.m c));
       ]
   @@ fun () ->
-  let csr = Csr.of_ugraph u in
   let comp_id, comps =
     Observe.Trace.span trace "compile.components" (fun () ->
-        Traverse.component_ids u)
+        Csr.component_ids c)
   in
   let components =
     Observe.Trace.span trace "compile.orderings" @@ fun () ->
@@ -142,7 +152,7 @@ let compile ?pool ?(trace = Observe.Trace.disabled)
   Observe.Trace.add_attr trace "components"
     (Observe.Trace.Int (Array.length components));
   Observe.Metrics.incr (Observe.Metrics.counter metrics "engine.compiles");
-  { graph; u; csr; profile; comp_id; components }
+  { graph; profile; comp_id; components }
 
 (* ------------------------------------------------ delta application *)
 
@@ -152,7 +162,6 @@ let compile ?pool ?(trace = Observe.Trace.disabled)
    ascending minimum element — so a patched plan and a from-scratch
    plan agree component index for component index. *)
 let replan ?pool ~trace ~metrics graph ~kept ~rebuilt_sets =
-  let u = Bigraph.ugraph graph in
   let rebuilt = build_components ?pool ~trace graph rebuilt_sets in
   let components =
     Array.append (Array.of_list kept) rebuilt
@@ -160,7 +169,7 @@ let replan ?pool ~trace ~metrics graph ~kept ~rebuilt_sets =
   Array.sort
     (fun a b -> compare (Iset.min_elt a.nodes) (Iset.min_elt b.nodes))
     components;
-  let n = Ugraph.n u in
+  let n = Bigraph.n graph in
   let comp_id = Array.make n (-1) in
   Array.iteri
     (fun k c -> Iset.iter (fun v -> comp_id.(v) <- k) c.nodes)
@@ -177,8 +186,7 @@ let replan ?pool ~trace ~metrics graph ~kept ~rebuilt_sets =
   Observe.Metrics.incr
     ~by:(Array.length rebuilt)
     (Observe.Metrics.counter metrics "engine.delta.recompiled_components");
-  ( { graph; u; csr = Csr.of_ugraph u; profile; comp_id; components },
-    List.rev !recompiled )
+  ({ graph; profile; comp_id; components }, List.rev !recompiled)
 
 let apply_delta ?pool ?(trace = Observe.Trace.disabled)
     ?(metrics = Observe.Metrics.disabled) t op =

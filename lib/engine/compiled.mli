@@ -28,8 +28,10 @@ type component = {
 
 type t = {
   graph : Bigraph.t;
-  u : Ugraph.t;  (** [Bigraph.ugraph graph], fetched once *)
-  csr : Csr.t;  (** flat adjacency arena shared by solver scratches *)
+      (** carries both adjacency views: the flat CSR (always present
+          after compilation — the solver-scratch arena, via {!csr}) and
+          the set view, derived lazily on first set-consuming query
+          (via {!ugraph}) *)
   profile : Classify.profile;
   comp_id : int array;  (** component index per node *)
   components : component array;

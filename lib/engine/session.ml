@@ -44,10 +44,12 @@ let create ?(budget = Budget.unlimited) ?(degrade = true)
     degrade;
     trace;
     metrics;
-    alg1_scratch =
-      Algorithm1.make_scratch ~csr:compiled.Compiled.csr compiled.Compiled.u;
-    mst_scratch =
-      Mst_approx.make_scratch ~csr:compiled.Compiled.csr compiled.Compiled.u;
+    (* Scratches size off the plan's CSR arena alone: creating a
+       session over a stream-built million-node plan never forces the
+       set view (that happens lazily on the first query that needs
+       it). *)
+    alg1_scratch = Algorithm1.make_scratch_csr (Compiled.csr compiled);
+    mst_scratch = Mst_approx.make_scratch_csr (Compiled.csr compiled);
   }
 
 let compiled t = t.compiled
@@ -65,10 +67,8 @@ let with_plan t compiled =
     {
       t with
       compiled;
-      alg1_scratch =
-        Algorithm1.make_scratch ~csr:compiled.Compiled.csr compiled.Compiled.u;
-      mst_scratch =
-        Mst_approx.make_scratch ~csr:compiled.Compiled.csr compiled.Compiled.u;
+      alg1_scratch = Algorithm1.make_scratch_csr (Compiled.csr compiled);
+      mst_scratch = Mst_approx.make_scratch_csr (Compiled.csr compiled);
     }
 
 (* O(|p| + log n) location against the cached component ids — the
@@ -79,7 +79,7 @@ let locate t ~p =
   | None, _ | _, None ->
     Error (Errors.Invalid_instance "empty terminal set")
   | Some lo, Some hi ->
-    if lo < 0 || hi >= Ugraph.n c.Compiled.u then
+    if lo < 0 || hi >= Bigraph.n c.Compiled.graph then
       Error (Errors.Invalid_instance "terminal index out of range")
     else begin
       let cid = c.Compiled.comp_id.(lo) in
@@ -107,7 +107,9 @@ let query_in ?budget ?degrade ~trace ~mst_scratch t ~p =
   let degrade = match degrade with Some d -> d | None -> t.degrade in
   let metrics = t.metrics in
   let c = t.compiled in
-  let u = c.Compiled.u in
+  (* Cached after the first query; a stream-built plan derives the set
+     view here, on demand, rather than at construction time. *)
+  let u = Compiled.ugraph c in
   match locate t ~p with
   | Error e -> Error e
   | Ok comp ->
@@ -180,7 +182,40 @@ let query_in ?budget ?degrade ~trace ~mst_scratch t ~p =
               guarantee = Degrade.Exact;
               run =
                 (fun () ->
-                  Dreyfus_wagner.solve ~budget ~trace ~metrics u ~terminals:p);
+                  (* The DP's tables scale with the graph it sees
+                     (O(n) BFS rows, a 2^t x n table), not with the
+                     component, so hand it the terminals' component as
+                     a materialised subgraph: on a many-component
+                     schema at n = 10^6 the component is tiny while
+                     the graph is not. [Ugraph.induced] renumbers
+                     ascending — a monotone relabeling — so the DP
+                     takes identical decisions and the mapped-back
+                     tree is the one the whole-graph run returns. *)
+                  let nodes = comp.Compiled.nodes in
+                  if Iset.cardinal nodes = Ugraph.n u then
+                    Dreyfus_wagner.solve ~budget ~trace ~metrics u
+                      ~terminals:p
+                  else begin
+                    let sub, ids = Ugraph.induced u nodes in
+                    let back = Hashtbl.create (Array.length ids) in
+                    Array.iteri (fun i v -> Hashtbl.replace back v i) ids;
+                    let p' = Iset.map (Hashtbl.find back) p in
+                    match
+                      Dreyfus_wagner.solve ~budget ~trace ~metrics sub
+                        ~terminals:p'
+                    with
+                    | None -> None
+                    | Some t ->
+                      Some
+                        {
+                          Tree.nodes =
+                            Iset.map (fun v -> ids.(v)) t.Tree.nodes;
+                          edges =
+                            List.map
+                              (fun (a, b) -> (ids.(a), ids.(b)))
+                              t.Tree.edges;
+                        }
+                  end);
             };
             fixpoint_rung;
             mst_rung;
@@ -300,12 +335,15 @@ let solve_many ?pool ?budget ?make_budget ?degrade t ps =
          mutable budget cannot be shared across domains";
     let ps = Array.of_list ps in
     let c = t.compiled in
+    (* Force the set view on the coordinator before fan-out so worker
+       domains only read the plan's caches, never fill them. *)
+    ignore (Compiled.ugraph c);
     (* Scratch is the only mutable solver state a query touches, so a
        per-worker arena (indexed by the pool's stable worker id) makes
        concurrent queries race-free without locking. *)
     let scratches =
       Array.init (Parallel.Pool.domains pool) (fun _ ->
-          Mst_approx.make_scratch ~csr:c.Compiled.csr c.Compiled.u)
+          Mst_approx.make_scratch_csr (Compiled.csr c))
     in
     let forks = Array.map (fun _ -> Observe.Trace.fork t.trace) ps in
     let out =

@@ -1,9 +1,130 @@
 (* Compressed sparse row adjacency: one flat [col] array holding every
-   neighbor list back to back, delimited by [row]. Built once from a
-   {!Ugraph} and then read-only, so traversals are cache-friendly and
-   membership is a binary search instead of a balanced-tree descent. *)
+   neighbor list back to back, delimited by [row]. Built once — from a
+   {!Ugraph} or directly from an edge stream — and then read-only, so
+   traversals are cache-friendly and membership is a binary search
+   instead of a balanced-tree descent. *)
 
 type t = { n : int; m : int; row : int array; col : int array }
+
+let cmp_int (a : int) (b : int) = compare a b
+
+let check_edge n u v =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Csr: node out of range";
+  if u = v then invalid_arg "Csr: self-loop"
+
+(* Direct two-pass construction over a replayable edge stream: pass 1
+   counts degrees, pass 2 fills the rows, then each row is sorted and
+   deduplicated in place. No per-node set is ever materialised — the
+   working state is three int arrays — which is what makes million-node
+   construction cheap. The stream must replay identically (the builder
+   below and the workload generators both guarantee this). *)
+let of_edge_iter ~n iter =
+  if n < 0 then invalid_arg "Csr.of_edge_iter: negative size";
+  let row = Array.make (n + 1) 0 in
+  iter (fun u v ->
+      check_edge n u v;
+      row.(u + 1) <- row.(u + 1) + 1;
+      row.(v + 1) <- row.(v + 1) + 1);
+  for u = 1 to n do
+    row.(u) <- row.(u) + row.(u - 1)
+  done;
+  let total = row.(n) in
+  let col = Array.make total 0 in
+  let cursor = Array.sub row 0 (max n 1) in
+  iter (fun u v ->
+      col.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      col.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1);
+  for u = 0 to n - 1 do
+    if cursor.(u) <> row.(u + 1) then
+      invalid_arg "Csr.of_edge_iter: stream changed between passes"
+  done;
+  (* Sort each row, then compact duplicates in place: the write cursor
+     never overtakes the read position, so one [col] array suffices.
+     Short rows — the common case in the bounded-degree scale
+     workloads — are insertion-sorted directly inside [col], so the
+     whole sorting pass allocates nothing; only genuinely long rows pay
+     for a scratch copy and the general-purpose sort. *)
+  for u = 0 to n - 1 do
+    let s = row.(u) and e = row.(u + 1) in
+    if e - s > 1 then
+      if e - s <= 32 then
+        for k = s + 1 to e - 1 do
+          let v = col.(k) in
+          let j = ref (k - 1) in
+          while !j >= s && col.(!j) > v do
+            col.(!j + 1) <- col.(!j);
+            decr j
+          done;
+          col.(!j + 1) <- v
+        done
+      else begin
+        let tmp = Array.sub col s (e - s) in
+        Array.sort cmp_int tmp;
+        Array.blit tmp 0 col s (e - s)
+      end
+  done;
+  let out_row = Array.make (n + 1) 0 in
+  let w = ref 0 in
+  for u = 0 to n - 1 do
+    out_row.(u) <- !w;
+    let prev = ref min_int in
+    for k = row.(u) to row.(u + 1) - 1 do
+      let v = col.(k) in
+      if v <> !prev then begin
+        col.(!w) <- v;
+        incr w;
+        prev := v
+      end
+    done
+  done;
+  out_row.(n) <- !w;
+  let col = if !w = total then col else Array.sub col 0 !w in
+  { n; m = !w / 2; row = out_row; col }
+
+let of_edges ~n edges =
+  of_edge_iter ~n (fun f -> List.iter (fun (u, v) -> f u v) edges)
+
+(* Growable flat edge buffer feeding the two-pass build: the only
+   allocation per edge is the occasional doubling, so streaming a
+   million edges through it stays a few flat arrays end to end. *)
+module Builder = struct
+  type t = {
+    bn : int;
+    mutable len : int;
+    mutable src : int array;
+    mutable dst : int array;
+  }
+
+  let create ?(hint = 16) bn =
+    if bn < 0 then invalid_arg "Csr.Builder.create: negative size";
+    let cap = max hint 1 in
+    { bn; len = 0; src = Array.make cap 0; dst = Array.make cap 0 }
+
+  let add_edge b u v =
+    check_edge b.bn u v;
+    if b.len = Array.length b.src then begin
+      let cap = 2 * b.len in
+      let src = Array.make cap 0 and dst = Array.make cap 0 in
+      Array.blit b.src 0 src 0 b.len;
+      Array.blit b.dst 0 dst 0 b.len;
+      b.src <- src;
+      b.dst <- dst
+    end;
+    b.src.(b.len) <- u;
+    b.dst.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let length b = b.len
+
+  let build b =
+    of_edge_iter ~n:b.bn (fun f ->
+        for k = 0 to b.len - 1 do
+          f b.src.(k) b.dst.(k)
+        done)
+end
 
 let of_ugraph g =
   let n = Ugraph.n g in
@@ -83,11 +204,52 @@ let degree_within t within u =
   done;
   !acc
 
+(* Rows are sorted and duplicate-free, so each adjacency set can be
+   assembled by [Iset.of_list] on an already-sorted list and handed to
+   the trusted [Ugraph.of_adjacency] constructor: linear in n + m
+   instead of an AVL insertion per directed edge. *)
 let to_ugraph t =
-  let b = Ugraph.Builder.create t.n in
-  for u = 0 to t.n - 1 do
-    for k = t.row.(u) to t.row.(u + 1) - 1 do
-      if u < t.col.(k) then Ugraph.Builder.add_edge b u t.col.(k)
-    done
+  let adj =
+    Array.init t.n (fun u ->
+        Iset.of_list
+          (Array.to_list (Array.sub t.col t.row.(u) (t.row.(u + 1) - t.row.(u)))))
+  in
+  Ugraph.of_adjacency adj ~m:t.m
+
+let equal a b = a.n = b.n && a.m = b.m && a.row = b.row && a.col = b.col
+
+(* Flat component labelling: one array-based BFS sweep over the rows,
+   no per-component distance arrays or set differences, so a graph made
+   of many small components is labelled in O(n + m) total. Components
+   are numbered by ascending minimum element — the same order
+   [Traverse.component_ids] produces. *)
+let component_ids t =
+  let id = Array.make t.n (-1) in
+  let queue = Array.make (max t.n 1) 0 in
+  let k = ref 0 in
+  for s = 0 to t.n - 1 do
+    if id.(s) < 0 then begin
+      let cid = !k in
+      incr k;
+      id.(s) <- cid;
+      queue.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        for p = t.row.(u) to t.row.(u + 1) - 1 do
+          let v = t.col.(p) in
+          if id.(v) < 0 then begin
+            id.(v) <- cid;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        done
+      done
+    end
   done;
-  Ugraph.Builder.build b
+  let acc = Array.make (max !k 1) [] in
+  for v = t.n - 1 downto 0 do
+    acc.(id.(v)) <- v :: acc.(id.(v))
+  done;
+  (id, List.init !k (fun c -> Iset.of_list acc.(c)))

@@ -1,14 +1,40 @@
-(** Compressed sparse row view of a {!Ugraph}.
+(** Compressed sparse row adjacency.
 
-    Built once at a kernel's entry point ([of_ugraph] is O(n + m)) and
-    then read-only: neighbor lists live back to back in one flat array,
-    sorted ascending, so traversal is sequential memory access and edge
+    Built once — from a {!Ugraph} ([of_ugraph], O(n + m)) or directly
+    from an edge stream ([of_edge_iter] / [of_edges] / {!Builder},
+    which never materialise per-node sets) — and then read-only:
+    neighbor lists live back to back in one flat array, sorted
+    ascending, so traversal is sequential memory access and edge
     membership is a binary search. Pairs with {!Bitset} for the
     [within]-restricted traversals the paper's algorithms use. *)
 
 type t
 
 val of_ugraph : Ugraph.t -> t
+
+val of_edge_iter : n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_edge_iter ~n iter] builds the adjacency directly from an edge
+    stream in two passes (degree count, then fill) followed by an
+    in-place sort-unique per row — no intermediate sets, no edge list.
+    [iter f] must call [f u v] once per undirected edge occurrence and
+    must replay the {e same} stream on both invocations (checked:
+    a stream that changes length between passes raises). Duplicate and
+    out-of-order edges are fine (collapsed by the per-row dedup);
+    self-loops and out-of-range endpoints raise [Invalid_argument]. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edge_iter] over a concrete list. Same tolerance for duplicates
+    and ordering as {!of_edge_iter}. *)
+
+val equal : t -> t -> bool
+(** Structural equality — and canonical: any two constructions of the
+    same graph (whatever edge order or duplication built them) yield
+    identical arrays. *)
+
+val component_ids : t -> int array * Iset.t list
+(** Flat O(n + m) connected-component labelling: [ids.(v)] indexes
+    [v]'s component in the returned list. Components are numbered by
+    ascending minimum element, matching [Traverse.component_ids]. *)
 
 val n : t -> int
 val m : t -> int
@@ -35,4 +61,27 @@ val degree_within : t -> Bitset.t -> int -> int
 (** [card (adj_within t within u)] without allocating. *)
 
 val to_ugraph : t -> Ugraph.t
-(** Round-trip back to the set-based representation (test support). *)
+(** Round-trip back to the set-based representation. Linear: each
+    sorted row becomes an adjacency set without per-edge AVL inserts,
+    so lazily deriving the set view of a million-node CSR is cheap
+    enough for the few remaining set-based consumers. *)
+
+module Builder : sig
+  type csr := t
+  type t
+
+  val create : ?hint:int -> int -> t
+  (** [create ?hint n]: an empty edge buffer over nodes [0..n-1];
+      [hint] pre-sizes the buffer (edge count, not bytes). *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Append one undirected edge. Duplicates are fine (collapsed at
+      {!build}); self-loops and out-of-range endpoints raise. *)
+
+  val length : t -> int
+  (** Edges appended so far (before dedup). *)
+
+  val build : t -> csr
+  (** Two-pass count/fill over the buffered edges plus per-row
+      sort-unique — the buffer is the only intermediate state. *)
+end

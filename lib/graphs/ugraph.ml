@@ -91,6 +91,10 @@ let of_edges ~n edges =
   List.iter (fun (u, v) -> Builder.add_edge b u v) edges;
   Builder.build b
 
+(* Trusted O(1) constructor for callers that already hold a coherent
+   adjacency (Csr.to_ugraph): the array is adopted, not copied. *)
+let of_adjacency adj ~m = { size = Array.length adj; adj; nedges = m }
+
 let induced g w =
   let ids = Array.of_list (Iset.elements w) in
   let back = Hashtbl.create (Array.length ids) in

@@ -18,6 +18,13 @@ val of_edges : n:int -> (int * int) list -> t
     undirected edges. Raises [Invalid_argument] on out-of-range
     endpoints or self-loops. *)
 
+val of_adjacency : Iset.t array -> m:int -> t
+(** Trusted O(1) constructor over a prebuilt adjacency: the caller
+    guarantees the array is symmetric ([v ∈ adj.(u)] iff [u ∈ adj.(v)]),
+    self-loop-free, in range, and that [m] is the undirected edge
+    count. Used by [Csr.to_ugraph] to convert a million-node CSR back
+    to sets without per-edge AVL inserts; not for general use. *)
+
 val add_edge : t -> int -> int -> t
 (** Functional edge insertion (O(n) copy; prefer {!Builder} in loops). *)
 

@@ -61,10 +61,10 @@ type scratch = {
   mutable generation : int;
 }
 
-let make_scratch ?csr u =
-  let n = Ugraph.n u in
+let make_scratch_csr csr =
+  let n = Csr.n csr in
   {
-    csr = (match csr with Some c -> c | None -> Csr.of_ugraph u);
+    csr;
     current = Bitset.create n;
     pb = Bitset.create n;
     doomed = Bitset.create n;
@@ -73,6 +73,9 @@ let make_scratch ?csr u =
     seen = Array.make n 0;
     generation = 0;
   }
+
+let make_scratch ?csr u =
+  make_scratch_csr (match csr with Some c -> c | None -> Csr.of_ugraph u)
 
 (* The same elimination as [eliminate_sets] on the flat kernels:
    adjacency from a CSR row, node sets as dense bitsets, connectivity
@@ -160,15 +163,22 @@ let prep_order p = p.w_order
 let prepare ?(trace = Observe.Trace.disabled) g ~comp =
   if Iset.cardinal comp <= 1 then Ok { comp; w_order = [] }
   else begin
-    let u = Bigraph.ugraph g in
+    let c = Bigraph.csr g in
+    let nl = Bigraph.nl g in
     let right_in_comp =
-      Iset.elements (Iset.inter comp (Bigraph.right_nodes g))
+      List.filter (fun v -> v >= nl) (Iset.elements comp)
     in
     (* H¹ of the component: one hyperedge per right node, over the left
        universe. Right nodes in the component always have at least one
        neighbor (they would otherwise be isolated and the component
-       would be a singleton). *)
-    let family = List.map (fun v -> Ugraph.neighbors u v) right_in_comp in
+       would be a singleton). Adjacency comes straight from the sorted
+       CSR rows — preparing every component of a stream-built schema
+       never forces the set view or an O(nr) right-node set. *)
+    let family =
+      List.map
+        (fun v -> Iset.of_list (Array.to_list (Csr.sorted_neighbors c v)))
+        right_in_comp
+    in
     let h = Hypergraph.create ~n_nodes:(Bigraph.nl g) family in
     match
       Observe.Trace.span trace "algorithm1.join_tree" (fun () ->
@@ -191,13 +201,13 @@ let prepare ?(trace = Observe.Trace.disabled) g ~comp =
    inside [prep.comp] (the caller established connectivity). *)
 let solve_prepared_with ~eliminate ?(trace = Observe.Trace.disabled) g prep ~p
     =
-  let u = Bigraph.ugraph g in
+  let nl = Bigraph.nl g in
   let comp = prep.comp in
   if Iset.cardinal comp <= 1 then
     Ok
       {
         tree = { Tree.nodes = comp; edges = [] };
-        v2_count = Iset.cardinal (Iset.inter comp (Bigraph.right_nodes g));
+        v2_count = Iset.cardinal (Iset.filter (fun v -> v >= nl) comp);
         elimination_order = [];
       }
   else begin
@@ -208,12 +218,16 @@ let solve_prepared_with ~eliminate ?(trace = Observe.Trace.disabled) g prep ~p
       Observe.Trace.span trace "algorithm1.eliminate" (fun () ->
           eliminate ~comp ~p prep.w_order)
     in
-    match Tree.of_node_set u survivors with
+    (* The set view is only needed here, for tree extraction over the
+       (small) survivor set; count V2 nodes by index instead of an
+       O(nr) right-node set. *)
+    match Tree.of_node_set (Bigraph.ugraph g) survivors with
     | Some tree ->
       Ok
         {
           tree;
-          v2_count = Tree.count_in tree (Bigraph.right_nodes g);
+          v2_count =
+            Iset.cardinal (Iset.filter (fun v -> v >= nl) tree.Tree.nodes);
           elimination_order = prep.w_order;
         }
     | None when Iset.is_empty survivors ->
@@ -236,7 +250,7 @@ let solve_prepared ?trace ?scratch g prep ~p =
   let eliminate =
     match scratch with
     | Some s -> eliminate_kernel_with s
-    | None -> eliminate_kernel (Bigraph.ugraph g)
+    | None -> eliminate_kernel_with (make_scratch_csr (Bigraph.csr g))
   in
   solve_prepared_with ~eliminate ?trace g prep ~p
 

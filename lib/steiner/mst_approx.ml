@@ -6,10 +6,12 @@ open Graphs
    allocated per call. *)
 type scratch = { csr : Csr.t; n : int; queue : int array }
 
-let make_scratch ?csr g =
-  let n = Ugraph.n g in
-  let csr = match csr with Some c -> c | None -> Csr.of_ugraph g in
+let make_scratch_csr csr =
+  let n = Csr.n csr in
   { csr; n; queue = Array.make n 0 }
+
+let make_scratch ?csr g =
+  make_scratch_csr (match csr with Some c -> c | None -> Csr.of_ugraph g)
 
 (* BFS over the CSR rows, recording distances and parent pointers in
    one pass. Neighbor iteration is ascending, like [Traverse.bfs], so

@@ -25,6 +25,10 @@ val make_scratch : ?csr:Csr.t -> Ugraph.t -> scratch
 (** [csr], when given, must be [Csr.of_ugraph] of the same graph; it
     lets a session share one adjacency arena across solver scratches. *)
 
+val make_scratch_csr : Csr.t -> scratch
+(** Same, directly from the flat adjacency — the stream-built session
+    path, which never touches the set view. *)
+
 val solve_connected :
   ?trace:Observe.Trace.t ->
   ?scratch:scratch ->

@@ -1,14 +1,19 @@
 open Graphs
 open Bipartite
 
+(* Flat-buffer construction: the draws go once into a growable edge
+   buffer (the stream must not re-consume the rng), which then feeds
+   the two-pass CSR build — no [(int * int) list] and no per-node sets
+   even at large nl * nr. Same draw sequence, same graph as the old
+   list-based version. *)
 let gnp rng ~nl ~nr ~p =
-  let edges = ref [] in
+  let b = Csr.Builder.create ~hint:(nl + nr) (nl + nr) in
   for i = 0 to nl - 1 do
     for j = 0 to nr - 1 do
-      if Rng.bool rng p then edges := (i, j) :: !edges
+      if Rng.bool rng p then Csr.Builder.add_edge b i (nl + j)
     done
   done;
-  Bigraph.of_edges ~nl ~nr !edges
+  Bigraph.of_csr ~nl ~nr (Csr.Builder.build b)
 
 let forest rng ~n =
   let tree = Gen_graph.random_tree rng ~n in

@@ -1,0 +1,50 @@
+(* scale-smoke: the million-node construction path at tier-1-affordable
+   size — stream one n = 10^5 chordal62 instance direct to CSR, compile
+   it, and answer a query burst through a session, all under a hard
+   wall-clock budget. Catches accidental superlinear regressions in the
+   construction or compile path (the full ladder to 10^6 lives in
+   `bench scale`, which is not run on every test invocation). *)
+
+let budget_s = 60.0
+
+let () =
+  let out = Sys.argv.(1) in
+  let t0 = Unix.gettimeofday () in
+  let inst =
+    Workloads.Gen_scale.make Workloads.Gen_scale.Chordal62 ~target_n:100_000
+      ~seed:1
+  in
+  let g = Workloads.Gen_scale.to_bigraph inst in
+  let t_construct = Unix.gettimeofday () -. t0 in
+  let plan = Minconn.Compiled.compile g in
+  let t_compile = Unix.gettimeofday () -. t0 -. t_construct in
+  let session = Minconn.Session.create plan in
+  let blocks = Workloads.Gen_scale.n_blocks inst in
+  let solved = ref 0 in
+  for i = 0 to 7 do
+    let p =
+      Workloads.Gen_scale.block_terminals inst ~block:(i * (blocks - 1) / 7)
+        ~k:3
+    in
+    match Minconn.Session.query session ~p with
+    | Ok _ -> incr solved
+    | Error e ->
+      Printf.eprintf "scale_check: query %d failed: %s\n" i
+        (Format.asprintf "%a" Minconn.Errors.pp e);
+      exit 1
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > budget_s then begin
+    Printf.eprintf "scale_check: %.1fs exceeds the %.0fs budget\n" elapsed
+      budget_s;
+    exit 1
+  end;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "scale-smoke ok: n=%d m=%d components=%d construct=%.3fs compile=%.3fs \
+     queries=%d/8\n"
+    (Workloads.Gen_scale.n inst)
+    (Workloads.Gen_scale.m inst)
+    (Minconn.Compiled.n_components plan)
+    t_construct t_compile !solved;
+  close_out oc

@@ -425,7 +425,9 @@ let test_crash_before_first_byte () =
    a prefix, the final path never appears. *)
 let test_crash_mid_write () =
   let rng = Workloads.Rng.make ~seed:7 in
-  let g = Workloads.Gen_bipartite.gnp rng ~nl:400 ~nr:400 ~p:0.05 in
+  (* Dense enough that even the compact CSR-only serialized form spans
+     several 64 KiB write chunks. *)
+  let g = Workloads.Gen_bipartite.gnp rng ~nl:400 ~nr:400 ~p:0.15 in
   with_cache @@ fun dir cache ->
   let fresh = Minconn.Compiled.compile g in
   let blob_len = String.length (Minconn.Compiled.to_bytes fresh) in
